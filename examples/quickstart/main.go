@@ -1,0 +1,80 @@
+// Quickstart: a 30-second end-to-end FedProphet run on a tiny synthetic
+// federated workload.
+//
+//	go run ./examples/quickstart
+//
+// It partitions a VGG-style model into memory-bounded modules, trains them
+// with adversarial cascade learning across 10 simulated edge clients, and
+// reports clean/adversarial accuracy along with the memory saving over
+// end-to-end federated adversarial training.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedprophet/internal/core"
+	"fedprophet/internal/data"
+	"fedprophet/internal/device"
+	"fedprophet/internal/fl"
+	"fedprophet/internal/nn"
+)
+
+func main() {
+	const seed = 7
+
+	// 1. A synthetic image-classification task (CIFAR10-S surrogate,
+	//    6 classes of 3×16×16 images to keep this example fast).
+	dcfg := data.SyntheticConfig{
+		Name: "quickstart", Classes: 6, Shape: []int{3, 16, 16},
+		TrainPerClass: 50, TestPerClass: 10,
+		NoiseStd: 0.1, MixMax: 0.3, Seed: seed,
+	}
+	train, test := data.Generate(dcfg)
+	train, val := data.SplitHoldout(train, 0.1, seed)
+
+	// 2. Federated split: 10 clients, 80% of each client's data in 20% of
+	//    the classes (the paper's statistical heterogeneity).
+	cfg := fl.DefaultConfig()
+	cfg.NumClients = 10
+	cfg.ClientsPerRound = 5
+	cfg.LocalIters = 8
+	cfg.Batch = 8
+	cfg.LR = 0.04
+	cfg.TrainPGD = 3
+	cfg.EvalPGD = 5
+	cfg.EvalAASteps = 5
+	subsets := data.PartitionNonIID(train, data.DefaultPartition(cfg.NumClients, seed))
+
+	// 3. An edge-device fleet from the paper's CIFAR-10 pool (Table 5).
+	rng := rand.New(rand.NewSource(seed))
+	fleet := device.NewFleet(device.CIFARPool(), cfg.NumClients, device.Balanced, rng)
+
+	env := &fl.Env{
+		Train: train, Subsets: subsets, Val: val, Test: test,
+		Fleet: fleet, Cfg: cfg, Rng: rng,
+	}
+
+	// 4. FedProphet: partition the backbone at Rmin = 20% of the full
+	//    training memory and run adversarial cascade learning with APA+DMA.
+	opts := core.DefaultOptions(func(r *rand.Rand) *nn.Model {
+		return nn.VGG16S([]int{3, 16, 16}, 6, 4, r)
+	})
+	opts.RoundsPerModule = 8
+	opts.Patience = 5
+	opts.AlphaInit = 0.5
+	opts.FeaturePGDSteps = 3
+
+	fmt.Println("training FedProphet (adversarial cascade learning)...")
+	res := core.New(opts).Run(env)
+
+	fmt.Printf("\nClean accuracy:        %.1f%%\n", res.CleanAcc*100)
+	fmt.Printf("PGD-5 accuracy:        %.1f%%\n", res.PGDAcc*100)
+	fmt.Printf("AutoAttack accuracy:   %.1f%%\n", res.AAAcc*100)
+	fmt.Printf("Modules:               %.0f\n", res.Extra["modules"])
+	fmt.Printf("Memory reduction:      %.0f%% (%.0f KB -> %.0f KB per client)\n",
+		res.Extra["mem_reduction"]*100,
+		res.Extra["mem_full_bytes"]/1024, res.Extra["mem_module_bytes"]/1024)
+	fmt.Printf("Simulated train time:  %.3f s (compute %.3f s, swap %.3f s)\n",
+		res.Latency.Total(), res.Latency.Compute, res.Latency.DataAccess)
+}

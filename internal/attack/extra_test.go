@@ -1,0 +1,104 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fedprophet/internal/tensor"
+)
+
+func TestMIFGSMStaysInBallAndClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := tensor.Uniform(r, 0.1, 0.9, 2, 3, 4, 4)
+		target := tensor.Uniform(r, -1, 2, 2, 3, 4, 4)
+		adv := MIFGSM(0.1, 5, 1.0, x, quadGrad(target), rng)
+		for i := range adv.Data {
+			if math.Abs(adv.Data[i]-x.Data[i]) > 0.1+1e-12 {
+				return false
+			}
+			if adv.Data[i] < 0 || adv.Data[i] > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMIFGSMIncreasesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.Uniform(rng, 0.3, 0.7, 2, 2, 4, 4)
+	target := tensor.Uniform(rng, 0.3, 0.7, 2, 2, 4, 4)
+	g := quadGrad(target)
+	l0, _ := g(x)
+	adv := MIFGSM(0.15, 8, 1.0, x, g, rng)
+	l1, _ := g(adv)
+	if l1 <= l0 {
+		t.Fatalf("MI-FGSM failed to increase loss: %g -> %g", l0, l1)
+	}
+}
+
+func TestMIFGSMDoesNotModifyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.Uniform(rng, 0, 1, 1, 2, 4, 4)
+	orig := x.Clone()
+	target := tensor.Uniform(rng, 0, 1, 1, 2, 4, 4)
+	MIFGSM(0.1, 3, 1.0, x, quadGrad(target), rng)
+	for i := range x.Data {
+		if x.Data[i] != orig.Data[i] {
+			t.Fatal("MIFGSM mutated its input")
+		}
+	}
+}
+
+func TestSquareAttackStaysInBall(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.Uniform(rng, 0.2, 0.8, 3, 2, 6, 6)
+	loss := func(a *tensor.Tensor) float64 {
+		// Reward moving away from x.
+		return tensor.Sub(a, x).L2Norm()
+	}
+	adv := SquareAttack(0.1, 50, x, loss, rng)
+	for i := range adv.Data {
+		if math.Abs(adv.Data[i]-x.Data[i]) > 0.1+1e-12 {
+			t.Fatalf("square attack left the ball at %d", i)
+		}
+		if adv.Data[i] < 0 || adv.Data[i] > 1 {
+			t.Fatal("square attack left [0,1]")
+		}
+	}
+}
+
+func TestSquareAttackNeverDecreasesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.Uniform(rng, 0.2, 0.8, 2, 2, 6, 6)
+	loss := func(a *tensor.Tensor) float64 {
+		return tensor.Sub(a, x).L2Norm()
+	}
+	l0 := loss(x)
+	adv := SquareAttack(0.1, 80, x, loss, rng)
+	if loss(adv) < l0 {
+		t.Fatalf("square attack decreased the loss: %g -> %g", l0, loss(adv))
+	}
+	// With a strictly-increasing objective, some iteration must be kept.
+	if loss(adv) == l0 {
+		t.Fatal("square attack made no progress on a trivially improvable loss")
+	}
+}
+
+func TestSquareAttackRejectsNon4D(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on 2-D input")
+		}
+	}()
+	rng := rand.New(rand.NewSource(6))
+	x := tensor.Uniform(rng, 0, 1, 2, 6)
+	SquareAttack(0.1, 3, x, func(*tensor.Tensor) float64 { return 0 }, rng)
+}

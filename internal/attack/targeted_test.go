@@ -1,0 +1,95 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedprophet/internal/data"
+	"fedprophet/internal/nn"
+)
+
+func TestTargetedPGDStaysInBall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := nn.CNN3([]int{2, 8, 8}, 4, 4, rng)
+	cfg := data.SyntheticConfig{
+		Name: "t", Classes: 4, Shape: []int{2, 8, 8},
+		TrainPerClass: 4, TestPerClass: 2,
+		NoiseStd: 0.08, MixMax: 0.2, Seed: 2,
+	}
+	train, _ := data.Generate(cfg)
+	x, y := data.Batch(train, []int{0, 1, 2, 3})
+	m.Forward(x, true) // warm BN
+
+	eps := 8.0 / 255
+	adv := TargetedPGD(PGDConfig(eps, 5), m, x, y, rng)
+	for i := range adv.Data {
+		if math.Abs(adv.Data[i]-x.Data[i]) > eps+1e-12 {
+			t.Fatal("targeted PGD left the ball")
+		}
+		if adv.Data[i] < 0 || adv.Data[i] > 1 {
+			t.Fatal("targeted PGD left [0,1]")
+		}
+	}
+}
+
+func TestTargetedPGDRaisesTargetProbability(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Train a model so predictions are meaningful.
+	m, test := trainTinyModel(t, false)
+	x, y := data.Batch(test, []int{0, 1, 2, 3, 4, 5})
+
+	// Pick the runner-up classes as targets (same rule as TargetedPGD).
+	out := m.Forward(x, false)
+	targets := make([]int, len(y))
+	for b := range y {
+		best, bestV := -1, 0.0
+		for j := 0; j < out.Dim(1); j++ {
+			if j == y[b] {
+				continue
+			}
+			if v := out.At(b, j); best < 0 || v > bestV {
+				best, bestV = j, v
+			}
+		}
+		targets[b] = best
+	}
+	probBefore := nn.Softmax(out)
+
+	eps := 12.0 / 255
+	adv := TargetedPGD(PGDConfig(eps, 10), m, x, y, rng)
+	probAfter := nn.Softmax(m.Forward(adv, false))
+
+	raised := 0
+	for b := range y {
+		if probAfter.At(b, targets[b]) > probBefore.At(b, targets[b]) {
+			raised++
+		}
+	}
+	if raised < len(y)/2 {
+		t.Fatalf("targeted PGD raised target probability on only %d/%d samples", raised, len(y))
+	}
+}
+
+func TestTargetedCEGradFnSignConvention(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := nn.CNN3([]int{2, 8, 8}, 4, 4, rng)
+	x, _ := data.Batch(mustDataset(t), []int{0, 1})
+	m.Forward(x, true)
+	g := TargetedCEGradFn(m, []int{0, 1})
+	loss, _ := g(x)
+	if loss > 0 {
+		t.Fatalf("objective must be −CE ≤ 0, got %v", loss)
+	}
+}
+
+func mustDataset(t *testing.T) *data.Dataset {
+	t.Helper()
+	cfg := data.SyntheticConfig{
+		Name: "t", Classes: 4, Shape: []int{2, 8, 8},
+		TrainPerClass: 2, TestPerClass: 1,
+		NoiseStd: 0.05, MixMax: 0.1, Seed: 5,
+	}
+	train, _ := data.Generate(cfg)
+	return train
+}

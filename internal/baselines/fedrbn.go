@@ -1,0 +1,103 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"fedprophet/internal/fl"
+	"fedprophet/internal/memmodel"
+	"fedprophet/internal/nn"
+	"fedprophet/internal/simlat"
+)
+
+// FedRBN is Federated Robustness Propagation (Hong et al. 2023) adapted to
+// the memory-heterogeneous setting as in Appendix B.2: clients whose memory
+// cannot afford adversarial training run standard training on the full model
+// instead, and robustness is propagated by sharing the batch-norm statistics
+// of the adversarially training clients. Homogeneous models avoid objective
+// inconsistency (high clean accuracy) but robustness collapses when most
+// clients cannot afford AT — the behaviour Table 2 reports.
+type FedRBN struct {
+	Build func(rng *rand.Rand) *nn.Model
+	// ATCostFactor scales the memory a client needs before it is allowed to
+	// adversarially train: AT needs the full training state plus the
+	// perturbed-batch workspace.
+	ATCostFactor float64
+}
+
+// Name identifies the method.
+func (f *FedRBN) Name() string { return "FedRBN" }
+
+// Run executes the federated rounds.
+func (f *FedRBN) Run(env *fl.Env) *fl.Result {
+	rng := env.Rng
+	model := f.Build(rng)
+	cost := memmodel.MemReqModel(model, env.Cfg.Batch)
+	cal := simlat.NewMemCalibration(env.Fleet.PoolMaxMemGB(), cost.TotalBytes)
+	res := &fl.Result{Method: f.Name(), Extra: map[string]float64{}}
+	atFactor := f.ATCostFactor
+	if atFactor <= 0 {
+		atFactor = 1.0
+	}
+
+	global := nn.ExportParams(model)
+	globalBN := nn.ExportBNStats(model)
+	atClients := 0
+	totalClients := 0
+	var commBytes int64
+
+	for round := 0; round < env.Cfg.Rounds; round++ {
+		selected := fl.SampleClients(env.Cfg.NumClients, env.Cfg.ClientsPerRound, rng)
+		lr := decayedLR(env.Cfg, round)
+		var vecs [][]float64
+		var ws []float64
+		var robustBN [][]float64
+		var robustW []float64
+		var lats []simlat.Latency
+		roundLoss := 0.0
+
+		for _, k := range selected {
+			snap := env.Fleet.Snapshot(k, rng)
+			budget := cal.Budget(snap.AvailMemGB)
+			doAT := float64(budget) >= atFactor*float64(cost.TotalBytes)
+			steps := 0
+			if doAT {
+				steps = env.Cfg.TrainPGD
+				atClients++
+			}
+			totalClients++
+
+			nn.ImportParams(model, global)
+			nn.ImportBNStats(model, globalBN)
+			loss, iters := localTrain(model, env.Subsets[k], env.Cfg, lr, steps, rng)
+			roundLoss += loss
+			vecs = append(vecs, nn.ExportParams(model))
+			ws = append(ws, float64(env.Subsets[k].Len()))
+			commBytes += int64(4 * (nn.NumParams(model) + len(globalBN)))
+			if doAT {
+				robustBN = append(robustBN, nn.ExportBNStats(model))
+				robustW = append(robustW, float64(env.Subsets[k].Len()))
+			}
+
+			w := clientWork(cost.ForwardFLOPs, cost.TotalBytes, budget,
+				iters, env.Cfg.Batch, steps, true /* full model may swap */)
+			lats = append(lats, simlat.ClientLatency(w, snap))
+		}
+		global = fl.WeightedAverage(vecs, ws)
+		// Robustness propagation: adversarial BN statistics come only from
+		// the AT clients; without any this round, keep the previous ones.
+		if len(robustBN) > 0 {
+			globalBN = fl.WeightedAverage(robustBN, robustW)
+		}
+		roundLat := simlat.RoundLatency(lats)
+		res.Latency.Add(roundLat)
+		res.History = append(res.History, fl.RoundMetrics{
+			Round: round, Loss: roundLoss / float64(len(selected)), Latency: roundLat,
+		})
+	}
+	nn.ImportParams(model, global)
+	nn.ImportBNStats(model, globalBN)
+	res.Extra["mem_full_bytes"] = float64(cost.TotalBytes)
+	res.Extra["at_client_frac"] = float64(atClients) / float64(totalClients)
+	res.Extra["comm_up_bytes"] = float64(commBytes)
+	return finishResult(res, model, env)
+}

@@ -1,0 +1,69 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"fedprophet/internal/fl"
+	"fedprophet/internal/memmodel"
+	"fedprophet/internal/nn"
+	"fedprophet/internal/simlat"
+)
+
+// JFAT is joint federated adversarial training (Zizzo et al. 2020): standard
+// FedAvg where every selected client adversarially trains the whole large
+// model end-to-end, swapping through storage whenever its memory cannot hold
+// the full training state.
+type JFAT struct {
+	Build func(rng *rand.Rand) *nn.Model
+}
+
+// Name identifies the method.
+func (j *JFAT) Name() string { return "jFAT" }
+
+// Run executes the federated rounds.
+func (j *JFAT) Run(env *fl.Env) *fl.Result {
+	rng := env.Rng
+	model := j.Build(rng)
+	cost := memmodel.MemReqModel(model, env.Cfg.Batch)
+	cal := simlat.NewMemCalibration(env.Fleet.PoolMaxMemGB(), cost.TotalBytes)
+	res := &fl.Result{Method: j.Name(), Extra: map[string]float64{}}
+
+	global := nn.ExportParams(model)
+	globalBN := nn.ExportBNStats(model)
+	var commBytes int64
+	for round := 0; round < env.Cfg.Rounds; round++ {
+		selected := fl.SampleClients(env.Cfg.NumClients, env.Cfg.ClientsPerRound, rng)
+		lr := decayedLR(env.Cfg, round)
+		var vecs, bnVecs [][]float64
+		var lats []simlat.Latency
+		roundLoss := 0.0
+
+		for _, k := range selected {
+			nn.ImportParams(model, global)
+			nn.ImportBNStats(model, globalBN)
+			loss, iters := localTrain(model, env.Subsets[k], env.Cfg, lr, env.Cfg.TrainPGD, rng)
+			roundLoss += loss
+			vecs = append(vecs, nn.ExportParams(model))
+			bnVecs = append(bnVecs, nn.ExportBNStats(model))
+			commBytes += int64(4 * (len(vecs[len(vecs)-1]) + len(bnVecs[len(bnVecs)-1])))
+
+			snap := env.Fleet.Snapshot(k, rng)
+			w := clientWork(cost.ForwardFLOPs, cost.TotalBytes, cal.Budget(snap.AvailMemGB),
+				iters, env.Cfg.Batch, env.Cfg.TrainPGD, true /* swap when constrained */)
+			lats = append(lats, simlat.ClientLatency(w, snap))
+		}
+		weights := fl.SubsetWeights(env.Subsets, selected)
+		global = fl.WeightedAverage(vecs, weights)
+		globalBN = fl.WeightedAverage(bnVecs, weights)
+		roundLat := simlat.RoundLatency(lats)
+		res.Latency.Add(roundLat)
+		res.History = append(res.History, fl.RoundMetrics{
+			Round: round, Loss: roundLoss / float64(len(selected)), Latency: roundLat,
+		})
+	}
+	nn.ImportParams(model, global)
+	nn.ImportBNStats(model, globalBN)
+	res.Extra["mem_full_bytes"] = float64(cost.TotalBytes)
+	res.Extra["comm_up_bytes"] = float64(commBytes)
+	return finishResult(res, model, env)
+}

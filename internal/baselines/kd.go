@@ -1,0 +1,215 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"fedprophet/internal/attack"
+	"fedprophet/internal/data"
+	"fedprophet/internal/fl"
+	"fedprophet/internal/memmodel"
+	"fedprophet/internal/nn"
+	"fedprophet/internal/simlat"
+	"fedprophet/internal/tensor"
+)
+
+// KDVariant selects the knowledge-distillation aggregation flavour.
+type KDVariant int
+
+// The two knowledge-distillation baselines of Appendix B.2.
+const (
+	// FedDF (Lin et al. 2020): ensemble distillation with uniformly
+	// averaged teacher probabilities on a public dataset.
+	FedDF KDVariant = iota
+	// FedET (Cho et al. 2022): heterogeneous ensemble knowledge transfer
+	// with confidence-weighted teachers, distilling on both clean and
+	// adversarially perturbed public data.
+	FedET
+)
+
+// KDTraining is knowledge-distillation federated adversarial training: each
+// client adversarially trains the largest model of a fixed architecture
+// group that fits its memory budget; the server federated-averages within
+// each architecture family and then distills the family ensemble into the
+// large global model on a small public dataset.
+type KDTraining struct {
+	// Group builds the architecture family, ordered small → large; the last
+	// entry is the reported global model ({CNN3, VGG11, VGG13, VGG16} on
+	// CIFAR-10, {CNN4, ResNet10, ResNet18, ResNet34} on Caltech-256).
+	Group   []func(rng *rand.Rand) *nn.Model
+	Variant KDVariant
+	// DistillIters is the number of server-side distillation steps per
+	// round (128 in the paper; scaled down with everything else here).
+	DistillIters int
+}
+
+// Name identifies the method.
+func (k *KDTraining) Name() string {
+	if k.Variant == FedET {
+		return "FedET-AT"
+	}
+	return "FedDF-AT"
+}
+
+// Run executes the federated rounds.
+func (k *KDTraining) Run(env *fl.Env) *fl.Result {
+	rng := env.Rng
+	models := make([]*nn.Model, len(k.Group))
+	costs := make([]memmodel.Costs, len(k.Group))
+	for i, build := range k.Group {
+		models[i] = build(rng)
+		costs[i] = memmodel.MemReqModel(models[i], env.Cfg.Batch)
+	}
+	big := models[len(models)-1]
+	cal := simlat.NewMemCalibration(env.Fleet.PoolMaxMemGB(), costs[len(costs)-1].TotalBytes)
+	res := &fl.Result{Method: k.Name(), Extra: map[string]float64{}}
+
+	globals := make([][]float64, len(models))
+	globalsBN := make([][]float64, len(models))
+	for i, m := range models {
+		globals[i] = nn.ExportParams(m)
+		globalsBN[i] = nn.ExportBNStats(m)
+	}
+	distillIters := k.DistillIters
+	if distillIters <= 0 {
+		distillIters = 16
+	}
+	var commBytes int64
+
+	for round := 0; round < env.Cfg.Rounds; round++ {
+		selected := fl.SampleClients(env.Cfg.NumClients, env.Cfg.ClientsPerRound, rng)
+		lr := decayedLR(env.Cfg, round)
+		vecs := make([][][]float64, len(models))
+		bnVecs := make([][][]float64, len(models))
+		weights := make([][]float64, len(models))
+		var lats []simlat.Latency
+		roundLoss := 0.0
+
+		for _, c := range selected {
+			snap := env.Fleet.Snapshot(c, rng)
+			budget := cal.Budget(snap.AvailMemGB)
+			// Largest family member that fits.
+			pick := 0
+			for i := range models {
+				if costs[i].TotalBytes <= budget {
+					pick = i
+				}
+			}
+			nn.ImportParams(models[pick], globals[pick])
+			nn.ImportBNStats(models[pick], globalsBN[pick])
+			loss, iters := localTrain(models[pick], env.Subsets[c], env.Cfg, lr, env.Cfg.TrainPGD, rng)
+			roundLoss += loss
+			vecs[pick] = append(vecs[pick], nn.ExportParams(models[pick]))
+			bnVecs[pick] = append(bnVecs[pick], nn.ExportBNStats(models[pick]))
+			commBytes += int64(4 * (nn.NumParams(models[pick]) + len(globalsBN[pick])))
+			weights[pick] = append(weights[pick], float64(env.Subsets[c].Len()))
+
+			w := clientWork(costs[pick].ForwardFLOPs, costs[pick].TotalBytes, budget,
+				iters, env.Cfg.Batch, env.Cfg.TrainPGD, false)
+			lats = append(lats, simlat.ClientLatency(w, snap))
+		}
+
+		// FedAvg within each architecture family.
+		for i := range models {
+			if len(vecs[i]) > 0 {
+				globals[i] = fl.WeightedAverage(vecs[i], weights[i])
+				globalsBN[i] = fl.WeightedAverage(bnVecs[i], weights[i])
+			}
+			nn.ImportParams(models[i], globals[i])
+			nn.ImportBNStats(models[i], globalsBN[i])
+		}
+
+		// Server-side ensemble distillation into the big model.
+		k.distill(models, big, env, distillIters, lr, rng)
+		globals[len(globals)-1] = nn.ExportParams(big)
+		globalsBN[len(globalsBN)-1] = nn.ExportBNStats(big)
+
+		roundLat := simlat.RoundLatency(lats)
+		res.Latency.Add(roundLat)
+		res.History = append(res.History, fl.RoundMetrics{
+			Round: round, Loss: roundLoss / float64(len(selected)), Latency: roundLat,
+		})
+	}
+	nn.ImportParams(big, globals[len(globals)-1])
+	nn.ImportBNStats(big, globalsBN[len(globalsBN)-1])
+	res.Extra["mem_full_bytes"] = float64(costs[len(costs)-1].TotalBytes)
+	res.Extra["comm_up_bytes"] = float64(commBytes)
+	return finishResult(res, big, env)
+}
+
+// distill runs server-side knowledge distillation of the family ensemble
+// into the big model on the public dataset.
+func (k *KDTraining) distill(models []*nn.Model, big *nn.Model, env *fl.Env, iters int, lr float64, rng *rand.Rand) {
+	if env.Public == nil || env.Public.Len() < 2 {
+		return
+	}
+	opt := nn.NewSGD(lr, env.Cfg.Momentum, 0)
+	nn.ResetMomentum(big.Params())
+	idx := make([]int, env.Public.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	batches := data.Batches(idx, env.Cfg.Batch, rng)
+	done := 0
+	for done < iters {
+		for _, b := range batches {
+			if done >= iters {
+				break
+			}
+			x, y := data.Batch(env.Public, b)
+			if k.Variant == FedET {
+				// FedET transfers robustness by distilling on perturbed
+				// public data as well.
+				if done%2 == 1 {
+					x = attack.Perturb(attack.PGDConfig(env.Cfg.Eps, 3), x,
+						attack.CEGradFn(big, y), rng)
+				}
+			}
+			teacher := k.ensembleProbs(models, x)
+			out := big.Forward(x, true)
+			_, g := nn.KLDivergence(out, teacher)
+			nn.ZeroGrads(big)
+			big.Backward(g)
+			opt.Step(big.Params())
+			done++
+		}
+		if len(batches) == 0 {
+			break
+		}
+	}
+}
+
+// ensembleProbs combines the family models' predictions: uniform averaging
+// for FedDF, confidence-weighted averaging for FedET.
+func (k *KDTraining) ensembleProbs(models []*nn.Model, x *tensor.Tensor) *tensor.Tensor {
+	bsz := x.Dim(0)
+	var probs []*tensor.Tensor
+	for _, m := range models {
+		probs = append(probs, nn.Softmax(m.Forward(x, false)))
+	}
+	classes := probs[0].Dim(1)
+	out := tensor.New(bsz, classes)
+	for b := 0; b < bsz; b++ {
+		totalW := 0.0
+		for _, p := range probs {
+			w := 1.0
+			if k.Variant == FedET {
+				// Confidence weight: the teacher's max probability.
+				maxp := 0.0
+				for j := 0; j < classes; j++ {
+					if v := p.At(b, j); v > maxp {
+						maxp = v
+					}
+				}
+				w = maxp
+			}
+			totalW += w
+			for j := 0; j < classes; j++ {
+				out.Data[b*classes+j] += w * p.At(b, j)
+			}
+		}
+		for j := 0; j < classes; j++ {
+			out.Data[b*classes+j] /= totalW
+		}
+	}
+	return out
+}

@@ -1,0 +1,349 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedprophet/internal/nn"
+	"fedprophet/internal/tensor"
+)
+
+// pickFn chooses which `keep` of `total` output channels/neurons a
+// sub-model retains at selectable layer layerID. Implementations must return
+// distinct indices in [0,total). The three partial-training baselines differ
+// only in this function:
+//
+//	HeteroFL-AT: the static prefix 0..keep-1
+//	FedDrop-AT : a fresh random subset every round
+//	FedRolex-AT: a rolling window advanced by the round index
+type pickFn func(layerID, total, keep int) []int
+
+// heteroPick is HeteroFL's static ordered selection.
+func heteroPick(_, total, keep int) []int {
+	idx := make([]int, keep)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// dropPick returns FedDrop's random selection bound to an RNG.
+func dropPick(rng *rand.Rand) pickFn {
+	return func(_, total, keep int) []int {
+		perm := rng.Perm(total)[:keep]
+		// Sorted for cache-friendly scatter; selection is what matters.
+		insertionSort(perm)
+		return perm
+	}
+}
+
+// rolexPick returns FedRolex's rolling-window selection for a given round.
+func rolexPick(round int) pickFn {
+	return func(layerID, total, keep int) []int {
+		start := ((round+layerID)%total + total) % total
+		idx := make([]int, keep)
+		for i := range idx {
+			idx[i] = (start + i) % total
+		}
+		insertionSort(idx)
+		return idx
+	}
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// paramMap ties one sub-model parameter to the flat indices of the global
+// parameter it was extracted from.
+type paramMap struct {
+	sub    *nn.Param
+	global *nn.Param
+	idx    []int
+}
+
+// statMap does the same for batch-norm running statistics (not Params, but
+// aggregated across clients all the same).
+type statMap struct {
+	sub    *tensor.Tensor
+	global *tensor.Tensor
+	idx    []int
+}
+
+// subModel is an extracted trainable sub-network plus the mappings needed to
+// scatter its updates back into the global model.
+type subModel struct {
+	model *nn.Model
+	maps  []paramMap
+	stats []statMap
+}
+
+// keepCount converts a channel fraction into a channel count, at least 1.
+func keepCount(total int, frac float64) int {
+	k := int(float64(total)*frac + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > total {
+		k = total
+	}
+	return k
+}
+
+// extractSub builds a sub-model of `global` keeping roughly `frac` of the
+// channels in every hidden layer (the final classifier keeps all outputs).
+// Weights are copied from the global model; maps record where each copied
+// scalar lives globally. Supports the model families used in the paper:
+// plain conv/linear cascades (VGG, CNN) and ResNets of BasicBlocks.
+func extractSub(global *nn.Model, frac float64, pick pickFn, rng *rand.Rand) *subModel {
+	sm := &subModel{}
+	finalLinear := lastLinear(global)
+
+	// inSel tracks the retained channel (or neuron) indices of the current
+	// feature; spatial dims follow the original model's shapes.
+	inSel := identity(global.InShape[0])
+	shape := append([]int(nil), global.InShape...)
+	layerID := 0
+
+	var subAtoms []nn.Layer
+	for _, atom := range global.Atoms {
+		switch a := atom.(type) {
+		case *nn.Sequential:
+			var subLayers []nn.Layer
+			for _, l := range a.Layers {
+				sub, newSel := sm.extractLayer(l, inSel, shape, frac, pick, &layerID, finalLinear, rng)
+				subLayers = append(subLayers, sub)
+				inSel = newSel
+				shape = l.OutShape(shape)
+			}
+			subAtoms = append(subAtoms, nn.NewSequential(a.Name(), subLayers...))
+		case *nn.BasicBlock:
+			sub, newSel := sm.extractBlock(a, inSel, frac, pick, &layerID, rng)
+			subAtoms = append(subAtoms, sub)
+			inSel = newSel
+			shape = a.OutShape(shape)
+		default:
+			panic(fmt.Sprintf("baselines: unsupported atom type %T", atom))
+		}
+	}
+	sm.model = &nn.Model{
+		Label:      global.Label + "-sub",
+		Atoms:      subAtoms,
+		InShape:    append([]int(nil), global.InShape...),
+		NumClasses: global.NumClasses,
+	}
+	return sm
+}
+
+func identity(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// extractLayer handles one primitive layer inside a Sequential atom.
+func (sm *subModel) extractLayer(l nn.Layer, inSel []int, shape []int, frac float64, pick pickFn, layerID *int, finalLinear *nn.Linear, rng *rand.Rand) (nn.Layer, []int) {
+	switch v := l.(type) {
+	case *nn.Conv2D:
+		keep := keepCount(v.OutC, frac)
+		outSel := pick(*layerID, v.OutC, keep)
+		*layerID++
+		sub := nn.NewConv2D(len(inSel), len(outSel), v.Kernel, v.Stride, v.Pad, v.B != nil, rng)
+		sm.mapConv(sub, v, inSel, outSel)
+		return sub, outSel
+
+	case *nn.BatchNorm2D:
+		sub := nn.NewBatchNorm2D(len(inSel))
+		sm.mapBN(sub, v, inSel)
+		return sub, inSel
+
+	case *nn.Linear:
+		if v == finalLinear {
+			outSel := identity(v.Out)
+			sub := nn.NewLinear(len(inSel), v.Out, rng)
+			sm.mapLinear(sub, v, inSel, outSel)
+			return sub, outSel
+		}
+		keep := keepCount(v.Out, frac)
+		outSel := pick(*layerID, v.Out, keep)
+		*layerID++
+		sub := nn.NewLinear(len(inSel), len(outSel), rng)
+		sm.mapLinear(sub, v, inSel, outSel)
+		return sub, outSel
+
+	case *nn.ReLU:
+		return nn.NewReLU(), inSel
+	case *nn.MaxPool2D:
+		return nn.NewMaxPool2D(v.Kernel), inSel
+	case *nn.GlobalAvgPool2D:
+		return nn.NewGlobalAvgPool2D(), inSel
+	case *nn.Flatten:
+		// Expand channel selection over the spatial plane of the ORIGINAL
+		// feature map: channel c covers flat features c·H·W .. (c+1)·H·W−1.
+		hw := 1
+		for _, d := range shape[1:] {
+			hw *= d
+		}
+		newSel := make([]int, 0, len(inSel)*hw)
+		for _, c := range inSel {
+			for s := 0; s < hw; s++ {
+				newSel = append(newSel, c*hw+s)
+			}
+		}
+		return nn.NewFlatten(), newSel
+	default:
+		panic(fmt.Sprintf("baselines: unsupported layer type %T", l))
+	}
+}
+
+// extractBlock slices a BasicBlock. Identity blocks keep outSel = inSel so
+// the skip connection stays valid; projection blocks pick a fresh output set
+// which also serves as the mid-channel set.
+func (sm *subModel) extractBlock(b *nn.BasicBlock, inSel []int, frac float64, pick pickFn, layerID *int, rng *rand.Rand) (nn.Layer, []int) {
+	stride := b.Conv1.Stride
+	var outSel []int
+	if b.DownConv == nil {
+		outSel = inSel
+	} else {
+		keep := keepCount(b.Conv2.OutC, frac)
+		outSel = pick(*layerID, b.Conv2.OutC, keep)
+		*layerID++
+	}
+	midSel := outSel // conv1's output channels = conv2's input channels
+
+	sub := nn.NewBasicBlock(len(inSel), len(outSel), stride, rng)
+	if (sub.DownConv == nil) != (b.DownConv == nil) {
+		// NewBasicBlock adds a projection iff stride≠1 or channel counts
+		// differ; identity blocks always keep matching counts here, so the
+		// structures must agree.
+		panic("baselines: block projection structure mismatch")
+	}
+	sm.mapConv(sub.Conv1, b.Conv1, inSel, midSel)
+	sm.mapBN(sub.BN1, b.BN1, midSel)
+	sm.mapConv(sub.Conv2, b.Conv2, midSel, outSel)
+	sm.mapBN(sub.BN2, b.BN2, outSel)
+	if b.DownConv != nil {
+		sm.mapConv(sub.DownConv, b.DownConv, inSel, outSel)
+		sm.mapBN(sub.DownBN, b.DownBN, outSel)
+	}
+	return sub, outSel
+}
+
+// mapConv copies W[outSel×inSel] (and bias) from global into sub and records
+// the index mapping.
+func (sm *subModel) mapConv(sub, global *nn.Conv2D, inSel, outSel []int) {
+	k := global.Kernel
+	idx := make([]int, 0, len(outSel)*len(inSel)*k*k)
+	for _, oc := range outSel {
+		for _, ic := range inSel {
+			base := ((oc*global.InC + ic) * k) * k
+			for p := 0; p < k*k; p++ {
+				idx = append(idx, base+p)
+			}
+		}
+	}
+	copyByIndex(sub.W.Data.Data, global.W.Data.Data, idx)
+	sm.maps = append(sm.maps, paramMap{sub: sub.W, global: global.W, idx: idx})
+	if global.B != nil && sub.B != nil {
+		copyByIndex(sub.B.Data.Data, global.B.Data.Data, outSel)
+		sm.maps = append(sm.maps, paramMap{sub: sub.B, global: global.B, idx: append([]int(nil), outSel...)})
+	}
+}
+
+// mapBN copies affine parameters and running statistics along sel.
+func (sm *subModel) mapBN(sub, global *nn.BatchNorm2D, sel []int) {
+	cp := append([]int(nil), sel...)
+	copyByIndex(sub.Gamma.Data.Data, global.Gamma.Data.Data, cp)
+	copyByIndex(sub.Beta.Data.Data, global.Beta.Data.Data, cp)
+	copyByIndex(sub.RunningMean.Data, global.RunningMean.Data, cp)
+	copyByIndex(sub.RunningVar.Data, global.RunningVar.Data, cp)
+	sm.maps = append(sm.maps,
+		paramMap{sub: sub.Gamma, global: global.Gamma, idx: cp},
+		paramMap{sub: sub.Beta, global: global.Beta, idx: cp},
+	)
+	sm.stats = append(sm.stats,
+		statMap{sub: sub.RunningMean, global: global.RunningMean, idx: cp},
+		statMap{sub: sub.RunningVar, global: global.RunningVar, idx: cp},
+	)
+}
+
+// mapLinear copies W[outSel×inSel] and b[outSel].
+func (sm *subModel) mapLinear(sub, global *nn.Linear, inSel, outSel []int) {
+	idx := make([]int, 0, len(outSel)*len(inSel))
+	for _, o := range outSel {
+		for _, i := range inSel {
+			idx = append(idx, o*global.In+i)
+		}
+	}
+	copyByIndex(sub.W.Data.Data, global.W.Data.Data, idx)
+	sm.maps = append(sm.maps, paramMap{sub: sub.W, global: global.W, idx: idx})
+	copyByIndex(sub.B.Data.Data, global.B.Data.Data, outSel)
+	sm.maps = append(sm.maps, paramMap{sub: sub.B, global: global.B, idx: append([]int(nil), outSel...)})
+}
+
+func copyByIndex(dst, src []float64, idx []int) {
+	if len(dst) != len(idx) {
+		panic(fmt.Sprintf("baselines: copyByIndex size mismatch %d vs %d", len(dst), len(idx)))
+	}
+	for i, j := range idx {
+		dst[i] = src[j]
+	}
+}
+
+// accumulator gathers weighted partial updates destined for global tensors.
+type accumulator struct {
+	sums    map[*tensor.Tensor][]float64
+	weights map[*tensor.Tensor][]float64
+}
+
+func newAccumulator() *accumulator {
+	return &accumulator{
+		sums:    map[*tensor.Tensor][]float64{},
+		weights: map[*tensor.Tensor][]float64{},
+	}
+}
+
+func (a *accumulator) add(global *tensor.Tensor, idx []int, values []float64, w float64) {
+	s, ok := a.sums[global]
+	if !ok {
+		s = make([]float64, global.Len())
+		a.sums[global] = s
+		a.weights[global] = make([]float64, global.Len())
+	}
+	wt := a.weights[global]
+	for i, j := range idx {
+		s[j] += w * values[i]
+		wt[j] += w
+	}
+}
+
+// scatter accumulates one trained sub-model into the accumulator with FedAvg
+// weight w.
+func (sm *subModel) scatter(acc *accumulator, w float64) {
+	for _, m := range sm.maps {
+		acc.add(m.global.Data, m.idx, m.sub.Data.Data, w)
+	}
+	for _, s := range sm.stats {
+		acc.add(s.global, s.idx, s.sub.Data, w)
+	}
+}
+
+// apply writes the accumulated partial averages into the global tensors;
+// positions no client touched keep their previous values (Eq. 16's partial
+// average).
+func (a *accumulator) apply() {
+	for t, sums := range a.sums {
+		ws := a.weights[t]
+		for i := range sums {
+			if ws[i] > 0 {
+				t.Data[i] = sums[i] / ws[i]
+			}
+		}
+	}
+}

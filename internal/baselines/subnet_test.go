@@ -1,0 +1,199 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fedprophet/internal/nn"
+	"fedprophet/internal/tensor"
+)
+
+func TestPickersShapeAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	picks := []pickFn{heteroPick, dropPick(rng), rolexPick(7)}
+	for pi, pick := range picks {
+		for _, tc := range []struct{ total, keep int }{{8, 3}, {5, 5}, {16, 1}, {7, 6}} {
+			idx := pick(2, tc.total, tc.keep)
+			if len(idx) != tc.keep {
+				t.Fatalf("picker %d returned %d of %d", pi, len(idx), tc.keep)
+			}
+			seen := map[int]bool{}
+			for _, i := range idx {
+				if i < 0 || i >= tc.total || seen[i] {
+					t.Fatalf("picker %d bad index %d (total %d)", pi, i, tc.total)
+				}
+				seen[i] = true
+			}
+		}
+	}
+}
+
+func TestHeteroPickIsPrefix(t *testing.T) {
+	idx := heteroPick(0, 10, 4)
+	for i, v := range idx {
+		if v != i {
+			t.Fatalf("heteroPick must be the prefix, got %v", idx)
+		}
+	}
+}
+
+func TestRolexPickRolls(t *testing.T) {
+	a := rolexPick(0)(0, 10, 4)
+	b := rolexPick(3)(0, 10, 4)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("rolling window must move across rounds")
+	}
+}
+
+func TestKeepCountBounds(t *testing.T) {
+	if keepCount(10, 0.0) != 1 {
+		t.Fatal("must keep at least one channel")
+	}
+	if keepCount(10, 2.0) != 10 {
+		t.Fatal("must not exceed total")
+	}
+	if keepCount(10, 0.5) != 5 {
+		t.Fatalf("keepCount(10,0.5) = %d", keepCount(10, 0.5))
+	}
+}
+
+// Full-fraction extraction must reproduce the global model exactly.
+func TestExtractSubFullFractionIsIdentity(t *testing.T) {
+	for _, build := range []func(*rand.Rand) *nn.Model{
+		func(r *rand.Rand) *nn.Model { return nn.VGG11S([]int{3, 16, 16}, 10, 4, r) },
+		func(r *rand.Rand) *nn.Model { return nn.ResNet10S([]int{3, 16, 16}, 10, 4, r) },
+	} {
+		rng := rand.New(rand.NewSource(3))
+		global := build(rng)
+		sub := extractSub(global, 1.0, heteroPick, rng)
+
+		x := tensor.Uniform(rng, 0, 1, 2, 3, 16, 16)
+		a := global.Forward(x, false)
+		b := sub.model.Forward(x, false)
+		for i := range a.Data {
+			if math.Abs(a.Data[i]-b.Data[i]) > 1e-9 {
+				t.Fatalf("%s: full-fraction sub-model diverges from global", global.Label)
+			}
+		}
+	}
+}
+
+// Sub-models must run forward/backward and keep the full class count.
+func TestExtractSubHalfFractionRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, build := range []func(*rand.Rand) *nn.Model{
+		func(r *rand.Rand) *nn.Model { return nn.VGG11S([]int{3, 16, 16}, 10, 4, r) },
+		func(r *rand.Rand) *nn.Model { return nn.ResNet18S([]int{3, 16, 16}, 10, 4, r) },
+		func(r *rand.Rand) *nn.Model { return nn.CNN3([]int{3, 16, 16}, 10, 4, r) },
+	} {
+		global := build(rng)
+		for _, frac := range []float64{0.3, 0.5, 0.75} {
+			sub := extractSub(global, frac, dropPick(rng), rng)
+			x := tensor.Uniform(rng, 0, 1, 2, 3, 16, 16)
+			out := sub.model.Forward(x, true)
+			if out.Dim(1) != 10 {
+				t.Fatalf("%s frac %v: classifier width %d", global.Label, frac, out.Dim(1))
+			}
+			_, g := nn.SoftmaxCrossEntropy(out, []int{1, 2})
+			nn.ZeroGrads(sub.model)
+			sub.model.Backward(g)
+			if nn.NumParams(sub.model) >= nn.NumParams(global) {
+				t.Fatalf("%s frac %v: sub-model not smaller", global.Label, frac)
+			}
+		}
+	}
+}
+
+// Property: extraction copies exactly the mapped global values.
+func TestExtractSubCopiesGlobalWeights(t *testing.T) {
+	f := func(seed int64, fracRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		frac := 0.25 + float64(fracRaw%60)/100
+		global := nn.VGG11S([]int{3, 16, 16}, 10, 4, rng)
+		sub := extractSub(global, frac, rolexPick(int(seed%13)), rng)
+		for _, m := range sub.maps {
+			for i, j := range m.idx {
+				if m.sub.Data.Data[i] != m.global.Data.Data[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Scatter + apply must write back modified sub weights at mapped positions
+// and leave untouched positions alone.
+func TestScatterApplyPartialAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	global := nn.CNN3([]int{3, 16, 16}, 10, 4, rng)
+	before := nn.ExportParams(global)
+
+	sub := extractSub(global, 0.5, heteroPick, rng)
+	// Modify all sub weights.
+	for _, m := range sub.maps {
+		for i := range m.sub.Data.Data {
+			m.sub.Data.Data[i] += 1.0
+		}
+	}
+	acc := newAccumulator()
+	sub.scatter(acc, 2.0)
+	acc.apply()
+
+	after := nn.ExportParams(global)
+	touched := map[int]bool{}
+	// Rebuild the global offsets of each param to verify positions.
+	offsets := map[*nn.Param]int{}
+	off := 0
+	for _, p := range global.Params() {
+		offsets[p] = off
+		off += p.Data.Len()
+	}
+	for _, m := range sub.maps {
+		base := offsets[m.global]
+		for i, j := range m.idx {
+			want := m.sub.Data.Data[i] // single contributor → exact value
+			if math.Abs(after[base+j]-want) > 1e-12 {
+				t.Fatalf("scatter wrote %v, want %v", after[base+j], want)
+			}
+			touched[base+j] = true
+		}
+	}
+	for i := range before {
+		if !touched[i] && before[i] != after[i] {
+			t.Fatalf("untouched weight %d changed", i)
+		}
+	}
+}
+
+// Two clients with equal weights average elementwise on the overlap.
+func TestAccumulatorAveragesTwoClients(t *testing.T) {
+	g := tensor.FromSlice([]float64{0, 0, 0}, 3)
+	acc := newAccumulator()
+	acc.add(g, []int{0, 1}, []float64{2, 4}, 1)
+	acc.add(g, []int{1, 2}, []float64{8, 10}, 1)
+	acc.apply()
+	if g.Data[0] != 2 || g.Data[1] != 6 || g.Data[2] != 10 {
+		t.Fatalf("overlap average wrong: %v", g.Data)
+	}
+}
+
+func TestLastLinearFindsClassifier(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := nn.VGG16S([]int{3, 16, 16}, 10, 4, rng)
+	l := lastLinear(m)
+	if l == nil || l.Out != 10 {
+		t.Fatalf("lastLinear wrong: %+v", l)
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fedprophet/internal/fl"
+	"fedprophet/internal/nn"
+)
+
+// exportParams flattens a parameter list into one vector.
+func exportParams(ps []*nn.Param) []float64 {
+	n := 0
+	for _, p := range ps {
+		n += p.Data.Len()
+	}
+	out := make([]float64, 0, n)
+	for _, p := range ps {
+		out = append(out, p.Data.Data...)
+	}
+	return out
+}
+
+// importParams loads a vector produced by exportParams.
+func importParams(ps []*nn.Param, v []float64) {
+	off := 0
+	for _, p := range ps {
+		n := p.Data.Len()
+		copy(p.Data.Data, v[off:off+n])
+		off += n
+	}
+	if off != len(v) {
+		panic("core: importParams length mismatch")
+	}
+}
+
+// moduleUpdate is one client's trained parameters for one module.
+type moduleUpdate struct {
+	vec    []float64
+	weight float64 // qk
+}
+
+// partialAverage aggregates per-module updates (Eq. 16) and per-module aux
+// updates (Eq. 17). updates[n] collects the backbone updates of module n
+// from every client k with M_k ≥ n; auxUpdates[n] collects aux updates from
+// clients with M_k = n. Modules with no updates keep their previous global
+// value (passed in prev).
+func partialAverage(updates map[int][]moduleUpdate, prev map[int][]float64) map[int][]float64 {
+	out := make(map[int][]float64, len(prev))
+	for n, v := range prev {
+		ups := updates[n]
+		if len(ups) == 0 {
+			out[n] = v
+			continue
+		}
+		vecs := make([][]float64, len(ups))
+		ws := make([]float64, len(ups))
+		for i, u := range ups {
+			vecs[i] = u.vec
+			ws[i] = u.weight
+		}
+		out[n] = fl.WeightedAverage(vecs, ws)
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedprophet/internal/cascade"
+	"fedprophet/internal/data"
+	"fedprophet/internal/device"
+	"fedprophet/internal/fl"
+	"fedprophet/internal/memmodel"
+	"fedprophet/internal/nn"
+)
+
+func TestAPAEpsIsAlphaTimesBase(t *testing.T) {
+	s := NewAPAState(0.3, 0.1, 0.05, 2.0, 1.5, true)
+	if s.Eps() != 0.6 {
+		t.Fatalf("Eps = %v, want 0.6", s.Eps())
+	}
+}
+
+func TestAPAUpdateRaisesAlphaWhenRatioTooHigh(t *testing.T) {
+	// PrevRatio 1.5; clean/adv = 0.9/0.4 = 2.25 > 1.05·1.5 → α += Δα.
+	s := NewAPAState(0.3, 0.1, 0.05, 1, 1.5, true)
+	s.Update(0.9, 0.4)
+	if s.Alpha != 0.4 {
+		t.Fatalf("Alpha = %v, want 0.4", s.Alpha)
+	}
+}
+
+func TestAPAUpdateLowersAlphaWhenRatioTooLow(t *testing.T) {
+	// clean/adv = 0.5/0.48 ≈ 1.04 < 0.95·1.5 → α −= Δα.
+	s := NewAPAState(0.3, 0.1, 0.05, 1, 1.5, true)
+	s.Update(0.5, 0.48)
+	if s.Alpha >= 0.3 {
+		t.Fatalf("Alpha = %v, want < 0.3", s.Alpha)
+	}
+}
+
+func TestAPAUpdateDeadZone(t *testing.T) {
+	// ratio within ±γ of PrevRatio keeps α.
+	s := NewAPAState(0.3, 0.1, 0.05, 1, 1.5, true)
+	s.Update(0.6, 0.4) // ratio 1.5 exactly
+	if s.Alpha != 0.3 {
+		t.Fatalf("Alpha = %v, want unchanged 0.3", s.Alpha)
+	}
+}
+
+func TestAPADisabledNeverMoves(t *testing.T) {
+	s := NewAPAState(0.3, 0.1, 0.05, 1, 1.5, false)
+	s.Update(1.0, 0.01)
+	if s.Alpha != 0.3 {
+		t.Fatal("disabled APA must not adjust alpha")
+	}
+}
+
+func TestAPAZeroAdvAccRaises(t *testing.T) {
+	s := NewAPAState(0.3, 0.1, 0.05, 1, 1.5, true)
+	s.Update(0.8, 0)
+	if s.Alpha != 0.4 {
+		t.Fatalf("Alpha = %v, want 0.4 on robustness collapse", s.Alpha)
+	}
+}
+
+func TestAPAAlphaNeverNegative(t *testing.T) {
+	s := NewAPAState(0.05, 0.1, 0.05, 1, 1.5, true)
+	s.Update(0.5, 0.49) // force decrease
+	if s.Alpha < 0 {
+		t.Fatalf("Alpha went negative: %v", s.Alpha)
+	}
+}
+
+func buildTestCascade(t *testing.T) *cascade.Cascade {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	m := nn.VGG16S([]int{3, 16, 16}, 10, 4, rng)
+	full := memmodel.MemReqModel(m, 8).TotalBytes
+	return cascade.Partition(m, full/5, 8, rng)
+}
+
+func TestAssignModulesRespectsMemory(t *testing.T) {
+	c := buildTestCascade(t)
+	if len(c.Modules) < 3 {
+		t.Skip("need ≥3 modules")
+	}
+	// Budget for exactly one module.
+	b1 := c.ModuleMemReq(0)
+	got := AssignModules(c, 0, b1, 100, 1, true)
+	if got != 0 {
+		t.Fatalf("tight budget must assign a single module, got up to %d", got)
+	}
+	// Huge budget and performance: memory no longer binds.
+	huge := c.RangeMemReq(0, len(c.Modules)-1) * 2
+	got = AssignModules(c, 0, huge, 1e6, 1, true)
+	if got == 0 {
+		t.Fatal("prophet client should receive extra modules")
+	}
+	for to := 0; to <= got; to++ {
+		if c.RangeMemReq(0, to) > huge {
+			t.Fatal("assignment exceeded memory budget")
+		}
+	}
+}
+
+func TestAssignModulesRespectsFLOPs(t *testing.T) {
+	c := buildTestCascade(t)
+	if len(c.Modules) < 3 {
+		t.Skip("need ≥3 modules")
+	}
+	huge := c.RangeMemReq(0, len(c.Modules)-1) * 2
+	// perf == perfMin: Eq. 15 limits FLOPs to one module's cost.
+	got := AssignModules(c, 0, huge, 1.0, 1.0, true)
+	limit := c.RangeForwardFLOPs(0, 0)
+	if c.RangeForwardFLOPs(0, got) > limit {
+		t.Fatalf("FLOPs constraint violated: %d > %d", c.RangeForwardFLOPs(0, got), limit)
+	}
+}
+
+func TestAssignModulesDisabledDMA(t *testing.T) {
+	c := buildTestCascade(t)
+	got := AssignModules(c, 1, 1<<62, 1e9, 1, false)
+	if got != 1 {
+		t.Fatalf("DMA off must assign exactly the current module, got %d", got)
+	}
+}
+
+func TestAssignModulesNeverBelowCurrent(t *testing.T) {
+	c := buildTestCascade(t)
+	got := AssignModules(c, 2, 1, 0.001, 1, true) // impossible budget
+	if got != 2 {
+		t.Fatalf("assignment must include the current module, got %d", got)
+	}
+}
+
+func TestPartialAverageBasic(t *testing.T) {
+	prev := map[int][]float64{
+		0: {0, 0},
+		1: {7, 7},
+	}
+	ups := map[int][]moduleUpdate{
+		0: {
+			{vec: []float64{1, 2}, weight: 1},
+			{vec: []float64{3, 4}, weight: 1},
+		},
+	}
+	out := partialAverage(mergeFixed(ups, prev), prev)
+	if out[0][0] != 2 || out[0][1] != 3 {
+		t.Fatalf("module 0 average wrong: %v", out[0])
+	}
+	if out[1][0] != 7 || out[1][1] != 7 {
+		t.Fatalf("untouched module must keep previous value: %v", out[1])
+	}
+}
+
+func TestPartialAverageWeighted(t *testing.T) {
+	prev := map[int][]float64{0: {0}}
+	ups := map[int][]moduleUpdate{
+		0: {
+			{vec: []float64{0}, weight: 3},
+			{vec: []float64{4}, weight: 1},
+		},
+	}
+	out := partialAverage(ups, prev)
+	if out[0][0] != 1 {
+		t.Fatalf("weighted average wrong: %v", out[0])
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := nn.NewLinear(4, 3, rng)
+	b := nn.NewLinear(4, 3, rand.New(rand.NewSource(3)))
+	importParams(b.Params(), exportParams(a.Params()))
+	av, bv := exportParams(a.Params()), exportParams(b.Params())
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatal("round trip mismatch")
+		}
+	}
+}
+
+// microEnv builds a tiny but complete federated environment.
+func microEnv(t *testing.T, seed int64) *fl.Env {
+	t.Helper()
+	cfg := fl.DefaultConfig()
+	cfg.NumClients = 8
+	cfg.ClientsPerRound = 3
+	cfg.LocalIters = 4
+	cfg.Batch = 8
+	cfg.TrainPGD = 3
+	cfg.EvalPGD = 5
+	cfg.EvalAASteps = 5
+	cfg.EvalBatch = 16
+	cfg.LR = 0.05
+	cfg.Seed = seed
+
+	dcfg := data.SyntheticConfig{
+		Name: "micro", Classes: 4, Shape: []int{2, 8, 8},
+		TrainPerClass: 40, TestPerClass: 12,
+		NoiseStd: 0.08, MixMax: 0.2, Seed: seed,
+	}
+	train, test := data.Generate(dcfg)
+	train, val := data.SplitHoldout(train, 0.15, seed)
+	train, public := data.SplitHoldout(train, 0.1, seed+1)
+	subs := data.PartitionNonIID(train, data.DefaultPartition(cfg.NumClients, seed))
+	rng := rand.New(rand.NewSource(seed))
+	fleet := device.NewFleet(device.CIFARPool(), cfg.NumClients, device.Balanced, rng)
+	return &fl.Env{
+		Train: train, Subsets: subs, Val: val, Test: test, Public: public,
+		Fleet: fleet, Cfg: cfg, Rng: rng,
+	}
+}
+
+func microBuild(rng *rand.Rand) *nn.Model {
+	return nn.CNN3([]int{2, 8, 8}, 4, 4, rng)
+}
+
+func TestFedProphetEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	env := microEnv(t, 5)
+	opts := DefaultOptions(microBuild)
+	opts.RoundsPerModule = 4
+	opts.Patience = 4
+	opts.FeaturePGDSteps = 3
+	opts.ValSize = 24
+	opts.ValPGD = 3
+
+	res := New(opts).Run(env)
+	if res.CleanAcc <= 1.0/4+0.1 {
+		t.Fatalf("FedProphet failed to learn: clean acc %v", res.CleanAcc)
+	}
+	if res.PGDAcc < 0 || res.AAAcc > res.PGDAcc+1e-9 {
+		t.Fatalf("robustness metrics inconsistent: PGD %v AA %v", res.PGDAcc, res.AAAcc)
+	}
+	if res.Extra["modules"] < 2 {
+		t.Fatalf("expected a multi-module partition, got %v", res.Extra["modules"])
+	}
+	if res.Extra["mem_reduction"] <= 0.3 {
+		t.Fatalf("memory reduction too small: %v", res.Extra["mem_reduction"])
+	}
+	if res.Latency.Total() <= 0 {
+		t.Fatal("latency must be positive")
+	}
+	if len(res.History) == 0 {
+		t.Fatal("history must be recorded")
+	}
+	// Per-dim perturbation must be recorded for every round and positive
+	// once past module 0.
+	for _, h := range res.History {
+		if h.PerDimPert < 0 {
+			t.Fatal("negative per-dim perturbation")
+		}
+	}
+}
+
+func TestFedProphetDeterministicSameSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	opts := DefaultOptions(microBuild)
+	opts.RoundsPerModule = 2
+	opts.Patience = 2
+	opts.FeaturePGDSteps = 2
+	opts.ValSize = 16
+	opts.ValPGD = 2
+
+	r1 := New(opts).Run(microEnv(t, 9))
+	r2 := New(opts).Run(microEnv(t, 9))
+	if r1.CleanAcc != r2.CleanAcc || r1.PGDAcc != r2.PGDAcc {
+		t.Fatalf("same seed must reproduce results: %v/%v vs %v/%v",
+			r1.CleanAcc, r1.PGDAcc, r2.CleanAcc, r2.PGDAcc)
+	}
+}

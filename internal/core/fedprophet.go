@@ -1,0 +1,348 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"fedprophet/internal/attack"
+	"fedprophet/internal/cascade"
+	"fedprophet/internal/data"
+	"fedprophet/internal/fl"
+	"fedprophet/internal/memmodel"
+	"fedprophet/internal/nn"
+	"fedprophet/internal/quant"
+	"fedprophet/internal/simlat"
+	"fedprophet/internal/tensor"
+)
+
+// Options configures FedProphet beyond the shared fl.Config.
+type Options struct {
+	// Build constructs the backbone model.
+	Build func(rng *rand.Rand) *nn.Model
+	// RminFrac sets the minimal reserved memory as a fraction of the
+	// full-model training requirement (0.2 in the paper).
+	RminFrac float64
+	// RoundsPerModule caps the communication rounds spent per module; the
+	// paper uses 500 with early stopping.
+	RoundsPerModule int
+	// Patience stops a module stage early when validation adversarial
+	// accuracy has not improved for this many rounds (50 in the paper).
+	Patience int
+	// Mu is the strong-convexity regularization coefficient (Eq. 9).
+	Mu float64
+	// AlphaInit, DeltaAlpha, GammaThresh parameterize APA (§6.2).
+	AlphaInit, DeltaAlpha, GammaThresh float64
+	// UseAPA / UseDMA toggle the coordinator components (Table 3 ablation).
+	UseAPA, UseDMA bool
+	// FeaturePGDSteps is the PGD iteration count for intermediate-feature
+	// attacks during cascade training.
+	FeaturePGDSteps int
+	// ValSize / ValPGD control the cheap per-round validation used by APA.
+	ValSize, ValPGD int
+	// UploadBits, when in [2,8], quantizes client module uploads with
+	// symmetric low-bit quantization before partial averaging — the
+	// parameter-level compression §8 describes as complementary to module
+	// partitioning. 0 disables quantization.
+	UploadBits int
+}
+
+// DefaultOptions returns the paper's coordinator hyperparameters.
+func DefaultOptions(build func(rng *rand.Rand) *nn.Model) Options {
+	return Options{
+		Build:           build,
+		RminFrac:        0.2,
+		RoundsPerModule: 12,
+		Patience:        6,
+		Mu:              1e-5,
+		AlphaInit:       0.3,
+		DeltaAlpha:      0.1,
+		GammaThresh:     0.05,
+		UseAPA:          true,
+		UseDMA:          true,
+		FeaturePGDSteps: 5,
+		ValSize:         48,
+		ValPGD:          5,
+	}
+}
+
+// FedProphet is the full method of Algorithm 2.
+type FedProphet struct {
+	Opts Options
+}
+
+// New constructs FedProphet with the given options.
+func New(opts Options) *FedProphet { return &FedProphet{Opts: opts} }
+
+// Name identifies the method.
+func (f *FedProphet) Name() string { return "FedProphet" }
+
+// Run executes Algorithm 2 and evaluates the final backbone.
+func (f *FedProphet) Run(env *fl.Env) *fl.Result {
+	o := f.Opts
+	rng := env.Rng
+	model := o.Build(rng)
+	fullCost := memmodel.MemReqModel(model, env.Cfg.Batch)
+	rmin := int64(o.RminFrac * float64(fullCost.TotalBytes))
+	casc := cascade.Partition(model, rmin, env.Cfg.Batch, rng)
+	cal := simlat.NewMemCalibration(env.Fleet.PoolMaxMemGB(), fullCost.TotalBytes)
+
+	res := &fl.Result{Method: f.Name(), Extra: map[string]float64{}}
+	valSample := fl.SampleDataset(env.Val, o.ValSize, rng)
+
+	// Per-module global parameter stores (weights, aux heads, BN stats).
+	globalBackbone := map[int][]float64{}
+	globalAux := map[int][]float64{}
+	globalBN := map[int][]float64{}
+	for i, m := range casc.Modules {
+		globalBackbone[i] = exportParams(m.BackboneParams())
+		globalBN[i] = m.BNStats()
+		if m.Aux != nil {
+			globalAux[i] = exportParams(m.Aux.Params())
+		}
+	}
+	loadGlobals := func() {
+		for i, m := range casc.Modules {
+			importParams(m.BackboneParams(), globalBackbone[i])
+			m.SetBNStats(globalBN[i])
+			if m.Aux != nil {
+				importParams(m.Aux.Params(), globalAux[i])
+			}
+		}
+	}
+
+	globalRound := 0
+	basePert := 0.0  // E[max‖Δz_{m-1}‖] from the previous stage
+	prevRatio := 0.0 // C*/A* of the previous stage
+	var commBytes int64
+
+	for mIdx := range casc.Modules {
+		prefixFwd := casc.PrefixForwardFLOPs(mIdx)
+		apa := NewAPAState(o.AlphaInit, o.DeltaAlpha, o.GammaThresh, basePert, prevRatio, o.UseAPA && mIdx > 0)
+		bestAdv, bestClean, sincImprove := -1.0, 0.0, 0
+
+		for local := 0; local < o.RoundsPerModule; local++ {
+			epsNow := env.Cfg.Eps
+			var atkCfg attack.Config
+			if mIdx == 0 {
+				atkCfg = attack.PGDConfig(env.Cfg.Eps, env.Cfg.TrainPGD)
+			} else {
+				epsNow = apa.Eps()
+				atkCfg = attack.FeaturePGDConfig(epsNow, o.FeaturePGDSteps)
+			}
+
+			selected := fl.SampleClients(env.Cfg.NumClients, env.Cfg.ClientsPerRound, rng)
+			snaps := make([]struct {
+				budget int64
+				perf   float64
+			}, len(selected))
+			perfMin := math.Inf(1)
+			for i, k := range selected {
+				s := env.Fleet.Snapshot(k, rng)
+				snaps[i].budget = cal.Budget(s.AvailMemGB)
+				snaps[i].perf = s.AvailPerf
+				if s.AvailPerf < perfMin {
+					perfMin = s.AvailPerf
+				}
+			}
+
+			lr := env.Cfg.LR * math.Pow(env.Cfg.LRDecay, float64(globalRound))
+			updates := map[int][]moduleUpdate{}
+			auxUpdates := map[int][]moduleUpdate{}
+			bnUpdates := map[int][]moduleUpdate{}
+			var lats []simlat.Latency
+			roundLoss, lossN := 0.0, 0
+
+			for i, k := range selected {
+				loadGlobals()
+				to := AssignModules(casc, mIdx, snaps[i].budget, snaps[i].perf, perfMin, o.UseDMA)
+				opt := nn.NewSGD(lr, env.Cfg.Momentum, env.Cfg.WeightDecay)
+				var params []*nn.Param
+				for j := mIdx; j <= to; j++ {
+					params = append(params, casc.Modules[j].Params()...)
+				}
+				nn.ResetMomentum(params)
+
+				sub := env.Subsets[k]
+				batches := data.Batches(sub.Indices, env.Cfg.Batch, rng)
+				iters := 0
+				for iters < env.Cfg.LocalIters && len(batches) > 0 {
+					for _, b := range batches {
+						if iters >= env.Cfg.LocalIters {
+							break
+						}
+						x, y := data.Batch(sub.Parent, b)
+						z := casc.ForwardPrefix(x, mIdx)
+						loss := casc.AdversarialStep(z, y, mIdx, to, atkCfg, o.Mu, opt, rng)
+						roundLoss += loss
+						lossN++
+						iters++
+					}
+				}
+
+				weight := float64(sub.Len())
+				for j := mIdx; j <= to; j++ {
+					vec, bytes := f.encodeUpload(exportParams(casc.Modules[j].BackboneParams()))
+					commBytes += bytes
+					updates[j] = append(updates[j], moduleUpdate{vec: vec, weight: weight})
+					bn := casc.Modules[j].BNStats()
+					commBytes += int64(4 * len(bn))
+					bnUpdates[j] = append(bnUpdates[j], moduleUpdate{vec: bn, weight: weight})
+				}
+				if aux := casc.Modules[to].Aux; aux != nil {
+					vec, bytes := f.encodeUpload(exportParams(aux.Params()))
+					commBytes += bytes
+					auxUpdates[to] = append(auxUpdates[to], moduleUpdate{vec: vec, weight: weight})
+				}
+
+				// Latency accounting: the prefix forward runs once per batch;
+				// the assigned range runs PGD attack passes plus the training
+				// pass.
+				rangeFwd := casc.RangeForwardFLOPs(mIdx, to)
+				flops := int64(iters) * (prefixFwd*int64(env.Cfg.Batch) +
+					memmodel.TrainingFLOPs(rangeFwd, env.Cfg.Batch, atkSteps(atkCfg)))
+				lats = append(lats, simlat.ClientLatency(simlat.Work{
+					FLOPs:     flops,
+					MemReq:    casc.RangeMemReq(mIdx, to),
+					MemBudget: snaps[i].budget,
+					Passes:    int64(iters) * simlat.PassesPerBatch(atkSteps(atkCfg)),
+					Swap:      false, // DMA never exceeds the budget
+				}, env.Fleet.Snapshot(k, rng)))
+			}
+
+			globalBackbone = partialAverage(mergeFixed(updates, globalBackbone), globalBackbone)
+			globalAux = partialAverage(mergeFixed(auxUpdates, globalAux), globalAux)
+			globalBN = partialAverage(mergeFixed(bnUpdates, globalBN), globalBN)
+			loadGlobals()
+
+			// Validation of the cascaded modules for APA and early stopping.
+			comp := casc.Composite(mIdx)
+			cAcc := attack.CleanAccuracy(comp, valSample, env.Cfg.EvalBatch)
+			aAcc := attack.AdvAccuracy(comp, valSample, env.Cfg.EvalBatch,
+				attack.PGDConfig(env.Cfg.Eps, o.ValPGD), rng)
+			apa.Update(cAcc, aAcc)
+
+			roundLat := simlat.RoundLatency(lats)
+			res.Latency.Add(roundLat)
+			avgLoss := 0.0
+			if lossN > 0 {
+				avgLoss = roundLoss / float64(lossN)
+			}
+			res.History = append(res.History, fl.RoundMetrics{
+				Round:      globalRound,
+				Loss:       avgLoss,
+				Latency:    roundLat,
+				PerDimPert: perDimPert(epsNow, casc.Modules[mIdx].InShape, mIdx),
+				Module:     mIdx,
+			})
+			globalRound++
+
+			if aAcc > bestAdv {
+				bestAdv, bestClean, sincImprove = aAcc, cAcc, 0
+			} else {
+				sincImprove++
+				if sincImprove >= o.Patience {
+					break
+				}
+			}
+		}
+
+		// Fix module mIdx; collect E[max‖Δz_m‖] for the next stage (Eq. 11)
+		// and record C*/A*.
+		if bestAdv > 0 {
+			prevRatio = bestClean / bestAdv
+		} else {
+			prevRatio = 0
+		}
+		if mIdx < len(casc.Modules)-1 {
+			basePert = f.collectOutputPerturbation(env, casc, mIdx, apaEpsOrInput(apa, env.Cfg, mIdx), rng)
+			if basePert <= 0 {
+				basePert = 0.1
+			}
+			if mIdx == 0 {
+				// d*_1 = E[max‖Δz_1‖], the quantity plotted in Figure 8.
+				res.Extra["pert_z1"] = basePert
+			}
+		}
+	}
+
+	clean, pgd, aa := fl.Evaluate(casc.Full(), env.Test, env.Cfg, rng)
+	res.CleanAcc, res.PGDAcc, res.AAAcc = clean, pgd, aa
+	res.Extra["modules"] = float64(len(casc.Modules))
+	maxMod := int64(0)
+	for i := range casc.Modules {
+		if r := casc.ModuleMemReq(i); r > maxMod {
+			maxMod = r
+		}
+	}
+	res.Extra["mem_full_bytes"] = float64(fullCost.TotalBytes)
+	res.Extra["mem_module_bytes"] = float64(maxMod)
+	res.Extra["mem_reduction"] = 1 - float64(maxMod)/float64(fullCost.TotalBytes)
+	res.Extra["rounds"] = float64(globalRound)
+	res.Extra["comm_up_bytes"] = float64(commBytes)
+	return res
+}
+
+// encodeUpload applies the optional low-bit quantization to one upload
+// vector, returning the (possibly lossy) vector the server will aggregate
+// and its wire size in bytes.
+func (f *FedProphet) encodeUpload(vec []float64) ([]float64, int64) {
+	if f.Opts.UploadBits < 2 || f.Opts.UploadBits > 8 {
+		return vec, int64(4 * len(vec))
+	}
+	q := quant.Quantize(vec, f.Opts.UploadBits)
+	return q.Dequantize(), int64(q.Bytes())
+}
+
+// atkSteps reports the PGD step count of a configured attack.
+func atkSteps(cfg attack.Config) int { return cfg.Steps }
+
+// apaEpsOrInput returns the constraint used on module mIdx's input when
+// measuring its output perturbation: ε0 for the first module, the APA ε for
+// later ones.
+func apaEpsOrInput(apa *APAState, cfg fl.Config, mIdx int) attack.Config {
+	if mIdx == 0 {
+		return attack.PGDConfig(cfg.Eps, 5)
+	}
+	return attack.FeaturePGDConfig(apa.Eps(), 5)
+}
+
+// collectOutputPerturbation estimates E[max‖Δz_m‖] on validation batches,
+// standing in for the client-side collection of Algorithm 2.
+func (f *FedProphet) collectOutputPerturbation(env *fl.Env, casc *cascade.Cascade, mIdx int, atkCfg attack.Config, rng *rand.Rand) float64 {
+	sample := fl.SampleDataset(env.Val, 32, rng)
+	if sample.Len() < 2 {
+		return 0
+	}
+	idx := make([]int, sample.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	x, _ := data.Batch(sample, idx)
+	var zin *tensor.Tensor = casc.ForwardPrefix(x, mIdx)
+	return casc.MaxOutputPerturbation(zin, mIdx, atkCfg, rng)
+}
+
+// perDimPert converts an ε constraint into the per-dimension magnitude
+// plotted in Figure 10: ℓ∞ radii are already per-dimension; ℓ2 radii are
+// divided by √d.
+func perDimPert(eps float64, inShape []int, mIdx int) float64 {
+	if mIdx == 0 {
+		return eps
+	}
+	d := 1
+	for _, s := range inShape {
+		d *= s
+	}
+	return eps / math.Sqrt(float64(d))
+}
+
+// mergeFixed ensures every module key in prev exists in updates so that
+// partialAverage preserves untouched modules.
+func mergeFixed(updates map[int][]moduleUpdate, prev map[int][]float64) map[int][]moduleUpdate {
+	for n := range prev {
+		if _, ok := updates[n]; !ok {
+			updates[n] = nil
+		}
+	}
+	return updates
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+)
+
+// Quantized uploads (§8's low-bit composition) must cut communication by
+// roughly the bit ratio while keeping the model trainable.
+func TestFedProphetQuantizedUploads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	mk := func(bits int) Options {
+		opts := DefaultOptions(microBuild)
+		opts.RoundsPerModule = 3
+		opts.Patience = 3
+		opts.FeaturePGDSteps = 2
+		opts.ValSize = 16
+		opts.ValPGD = 2
+		opts.UploadBits = bits
+		return opts
+	}
+
+	full := New(mk(0)).Run(microEnv(t, 31))
+	q8 := New(mk(8)).Run(microEnv(t, 31))
+
+	cFull := full.Extra["comm_up_bytes"]
+	cQ8 := q8.Extra["comm_up_bytes"]
+	if cFull <= 0 || cQ8 <= 0 {
+		t.Fatalf("communication accounting missing: %v %v", cFull, cQ8)
+	}
+	// 8-bit codes vs 4-byte floats: ≥3x saving even with headers and
+	// uncompressed BN statistics.
+	if cQ8 >= cFull/2 {
+		t.Fatalf("8-bit uploads should at least halve traffic: %v vs %v", cQ8, cFull)
+	}
+	// Training must still work: accuracy within a wide band of the
+	// unquantized run (both are tiny runs, so allow slack).
+	if q8.CleanAcc < full.CleanAcc-0.25 {
+		t.Fatalf("8-bit quantization destroyed training: %v vs %v", q8.CleanAcc, full.CleanAcc)
+	}
+}
+
+func TestCommBytesGrowWithRounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	mk := func(rpm int) Options {
+		opts := DefaultOptions(microBuild)
+		opts.RoundsPerModule = rpm
+		opts.Patience = rpm
+		opts.FeaturePGDSteps = 2
+		opts.ValSize = 8
+		opts.ValPGD = 1
+		return opts
+	}
+	short := New(mk(1)).Run(microEnv(t, 33))
+	long := New(mk(3)).Run(microEnv(t, 33))
+	if long.Extra["comm_up_bytes"] <= short.Extra["comm_up_bytes"] {
+		t.Fatalf("more rounds must upload more: %v vs %v",
+			short.Extra["comm_up_bytes"], long.Extra["comm_up_bytes"])
+	}
+}

@@ -1,0 +1,189 @@
+// Package exp is the experiment harness of the FedProphet reproduction. It
+// wires datasets, device fleets, models and methods into the exact
+// table/figure generators of the paper's evaluation (§7), shared by the
+// cmd/experiments binary and the repository-level benchmarks.
+package exp
+
+import (
+	"math/rand"
+
+	"fedprophet/internal/data"
+	"fedprophet/internal/device"
+	"fedprophet/internal/fl"
+	"fedprophet/internal/nn"
+)
+
+// Scale selects how big an experiment run is. Quick keeps every generator
+// fast enough for `go test -bench`; Full is for the cmd/experiments binary.
+type Scale struct {
+	Name            string
+	TrainPerClass   int
+	TestPerClass    int
+	ValFrac         float64
+	PublicFrac      float64
+	Width           int // model width multiplier
+	Rounds          int // baseline communication rounds
+	RoundsPerModule int // FedProphet rounds per module stage
+	LocalIters      int
+	NumClients      int
+	ClientsPerRound int
+	TrainPGD        int
+	EvalPGD         int
+	EvalAASteps     int
+	ValSize         int
+}
+
+// QuickScale is used by tests and benchmarks.
+func QuickScale() Scale {
+	return Scale{
+		Name:          "quick",
+		TrainPerClass: 60, TestPerClass: 10,
+		ValFrac: 0.1, PublicFrac: 0.08,
+		Width:  4,
+		Rounds: 12, RoundsPerModule: 12, LocalIters: 8,
+		NumClients: 10, ClientsPerRound: 5,
+		TrainPGD: 3, EvalPGD: 5, EvalAASteps: 5,
+		ValSize: 32,
+	}
+}
+
+// TrimmedScale cuts the quick scale down further for the repository
+// benchmarks and for cheap parameter sweeps (Figures 8/9, Tables 3/4); runs
+// finish in seconds at the cost of noisier absolute accuracy.
+func TrimmedScale() Scale {
+	s := QuickScale()
+	s.TrainPerClass = 30
+	s.TestPerClass = 8
+	s.Rounds = 4
+	s.RoundsPerModule = 3
+	s.LocalIters = 4
+	s.TrainPGD = 2
+	s.EvalPGD = 3
+	s.EvalAASteps = 3
+	s.ValSize = 16
+	s.Name = "trimmed"
+	return s
+}
+
+// FullScale is used by the cmd/experiments binary for higher-fidelity runs.
+func FullScale() Scale {
+	return Scale{
+		Name:          "full",
+		TrainPerClass: 100, TestPerClass: 20,
+		ValFrac: 0.1, PublicFrac: 0.08,
+		Width:  4,
+		Rounds: 30, RoundsPerModule: 18, LocalIters: 10,
+		NumClients: 12, ClientsPerRound: 6,
+		TrainPGD: 5, EvalPGD: 10, EvalAASteps: 10,
+		ValSize: 48,
+	}
+}
+
+// Workload bundles a dataset surrogate with its model family and device pool.
+type Workload struct {
+	Name       string
+	DataCfg    func(scale Scale, seed int64) data.SyntheticConfig
+	Shape      []int
+	Classes    int
+	Pool       []device.Device
+	BuildLarge func(scale Scale) func(*rand.Rand) *nn.Model
+	BuildSmall func(scale Scale) func(*rand.Rand) *nn.Model
+	KDGroup    func(scale Scale) []func(*rand.Rand) *nn.Model
+}
+
+// CIFAR10S is the CIFAR-10 surrogate workload: VGG16-S as the large model,
+// CNN3 as the small one, the Table 5 device pool.
+func CIFAR10S() Workload {
+	shape := []int{3, 16, 16}
+	classes := 10
+	return Workload{
+		Name:    "CIFAR10-S",
+		Shape:   shape,
+		Classes: classes,
+		Pool:    device.CIFARPool(),
+		DataCfg: func(s Scale, seed int64) data.SyntheticConfig {
+			cfg := data.CIFAR10SConfig(s.TrainPerClass, s.TestPerClass, seed)
+			return cfg
+		},
+		BuildLarge: func(s Scale) func(*rand.Rand) *nn.Model {
+			return func(r *rand.Rand) *nn.Model { return nn.VGG16S(shape, classes, s.Width, r) }
+		},
+		BuildSmall: func(s Scale) func(*rand.Rand) *nn.Model {
+			return func(r *rand.Rand) *nn.Model { return nn.CNN3(shape, classes, s.Width, r) }
+		},
+		KDGroup: func(s Scale) []func(*rand.Rand) *nn.Model {
+			return []func(*rand.Rand) *nn.Model{
+				func(r *rand.Rand) *nn.Model { return nn.CNN3(shape, classes, s.Width, r) },
+				func(r *rand.Rand) *nn.Model { return nn.VGG11S(shape, classes, s.Width, r) },
+				func(r *rand.Rand) *nn.Model { return nn.VGG13S(shape, classes, s.Width, r) },
+				func(r *rand.Rand) *nn.Model { return nn.VGG16S(shape, classes, s.Width, r) },
+			}
+		},
+	}
+}
+
+// Caltech256S is the Caltech-256 surrogate workload: ResNet34-S as the large
+// model, CNN4 as the small one, the Table 6 device pool. The quick scale
+// shrinks the image size and class count further (documented in DESIGN.md).
+func Caltech256S(quick bool) Workload {
+	shape := []int{3, 24, 24}
+	classes := 32
+	if quick {
+		shape = []int{3, 16, 16}
+		classes = 8
+	}
+	return Workload{
+		Name:    "Caltech256-S",
+		Shape:   shape,
+		Classes: classes,
+		Pool:    device.CaltechPool(),
+		DataCfg: func(s Scale, seed int64) data.SyntheticConfig {
+			cfg := data.Caltech256SConfig(s.TrainPerClass, s.TestPerClass, seed)
+			cfg.Shape = shape
+			cfg.Classes = classes
+			return cfg
+		},
+		BuildLarge: func(s Scale) func(*rand.Rand) *nn.Model {
+			return func(r *rand.Rand) *nn.Model { return nn.ResNet34S(shape, classes, s.Width, r) }
+		},
+		BuildSmall: func(s Scale) func(*rand.Rand) *nn.Model {
+			return func(r *rand.Rand) *nn.Model { return nn.CNN4(shape, classes, s.Width, r) }
+		},
+		KDGroup: func(s Scale) []func(*rand.Rand) *nn.Model {
+			return []func(*rand.Rand) *nn.Model{
+				func(r *rand.Rand) *nn.Model { return nn.CNN4(shape, classes, s.Width, r) },
+				func(r *rand.Rand) *nn.Model { return nn.ResNet10S(shape, classes, s.Width, r) },
+				func(r *rand.Rand) *nn.Model { return nn.ResNet18S(shape, classes, s.Width, r) },
+				func(r *rand.Rand) *nn.Model { return nn.ResNet34S(shape, classes, s.Width, r) },
+			}
+		},
+	}
+}
+
+// NewEnv assembles the federated environment for a workload under the given
+// systematic heterogeneity and seed.
+func NewEnv(w Workload, s Scale, h device.Heterogeneity, seed int64) *fl.Env {
+	cfg := fl.DefaultConfig()
+	cfg.NumClients = s.NumClients
+	cfg.ClientsPerRound = s.ClientsPerRound
+	cfg.Rounds = s.Rounds
+	cfg.LocalIters = s.LocalIters
+	cfg.Batch = 8
+	cfg.LR = 0.05
+	cfg.TrainPGD = s.TrainPGD
+	cfg.EvalPGD = s.EvalPGD
+	cfg.EvalAASteps = s.EvalAASteps
+	cfg.EvalBatch = 32
+	cfg.Seed = seed
+
+	train, test := data.Generate(w.DataCfg(s, seed))
+	train, val := data.SplitHoldout(train, s.ValFrac, seed+100)
+	train, public := data.SplitHoldout(train, s.PublicFrac, seed+200)
+	subs := data.PartitionNonIID(train, data.DefaultPartition(cfg.NumClients, seed+300))
+	rng := rand.New(rand.NewSource(seed))
+	fleet := device.NewFleet(w.Pool, cfg.NumClients, h, rng)
+	return &fl.Env{
+		Train: train, Subsets: subs, Val: val, Test: test, Public: public,
+		Fleet: fleet, Cfg: cfg, Rng: rng,
+	}
+}

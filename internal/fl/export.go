@@ -1,0 +1,78 @@
+package fl
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteHistoryCSV exports a result's per-round telemetry as CSV
+// (round, module, loss, compute/data-access/total latency, per-dim ε) —
+// the raw series behind Figures 7 and 10, ready for external plotting.
+func WriteHistoryCSV(w io.Writer, res *Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"round", "module", "loss", "compute_s", "data_access_s", "total_s", "pert_per_dim",
+	}); err != nil {
+		return err
+	}
+	for _, h := range res.History {
+		rec := []string{
+			fmt.Sprintf("%d", h.Round),
+			fmt.Sprintf("%d", h.Module+1),
+			fmt.Sprintf("%.6f", h.Loss),
+			fmt.Sprintf("%.6f", h.Latency.Compute),
+			fmt.Sprintf("%.6f", h.Latency.DataAccess),
+			fmt.Sprintf("%.6f", h.Latency.Total()),
+			fmt.Sprintf("%.6f", h.PerDimPert),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSummaryCSV exports the headline metrics of several results
+// (one row per method), including every Extra key in sorted order.
+func WriteSummaryCSV(w io.Writer, results []*Result) error {
+	keys := map[string]bool{}
+	for _, r := range results {
+		for k := range r.Extra {
+			keys[k] = true
+		}
+	}
+	extraKeys := make([]string, 0, len(keys))
+	for k := range keys {
+		extraKeys = append(extraKeys, k)
+	}
+	sort.Strings(extraKeys)
+
+	cw := csv.NewWriter(w)
+	header := append([]string{
+		"method", "clean_acc", "pgd_acc", "aa_acc", "compute_s", "data_access_s",
+	}, extraKeys...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range results {
+		rec := []string{
+			r.Method,
+			fmt.Sprintf("%.4f", r.CleanAcc),
+			fmt.Sprintf("%.4f", r.PGDAcc),
+			fmt.Sprintf("%.4f", r.AAAcc),
+			fmt.Sprintf("%.6f", r.Latency.Compute),
+			fmt.Sprintf("%.6f", r.Latency.DataAccess),
+		}
+		for _, k := range extraKeys {
+			rec = append(rec, fmt.Sprintf("%.6g", r.Extra[k]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,75 @@
+package fl
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"fedprophet/internal/simlat"
+)
+
+func sampleResult() *Result {
+	return &Result{
+		Method:   "FedProphet",
+		CleanAcc: 0.77, PGDAcc: 0.55, AAAcc: 0.52,
+		Latency: simlat.Latency{Compute: 0.5, DataAccess: 0.1},
+		History: []RoundMetrics{
+			{Round: 0, Module: 0, Loss: 2.1, Latency: simlat.Latency{Compute: 0.2}, PerDimPert: 0.031},
+			{Round: 1, Module: 1, Loss: 1.7, Latency: simlat.Latency{Compute: 0.3, DataAccess: 0.1}, PerDimPert: 0.04},
+		},
+		Extra: map[string]float64{"modules": 8, "comm_up_bytes": 1024},
+	}
+}
+
+func TestWriteHistoryCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHistoryCSV(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want header + 2", len(rows))
+	}
+	if rows[0][0] != "round" || rows[0][6] != "pert_per_dim" {
+		t.Fatalf("bad header %v", rows[0])
+	}
+	if rows[2][1] != "2" { // module is 1-indexed in the export
+		t.Fatalf("module column wrong: %v", rows[2])
+	}
+	if rows[2][5] != "0.400000" {
+		t.Fatalf("total latency wrong: %v", rows[2])
+	}
+}
+
+func TestWriteSummaryCSV(t *testing.T) {
+	var buf bytes.Buffer
+	other := sampleResult()
+	other.Method = "jFAT"
+	other.Extra = map[string]float64{"mem_full_bytes": 100}
+	if err := WriteSummaryCSV(&buf, []*Result{sampleResult(), other}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Union of Extra keys, sorted: comm_up_bytes, mem_full_bytes, modules.
+	if rows[0][6] != "comm_up_bytes" || rows[0][7] != "mem_full_bytes" || rows[0][8] != "modules" {
+		t.Fatalf("extra columns wrong: %v", rows[0])
+	}
+	if rows[1][0] != "FedProphet" || rows[2][0] != "jFAT" {
+		t.Fatalf("method order wrong: %v %v", rows[1][0], rows[2][0])
+	}
+	// Missing Extra values render as zero.
+	if rows[2][8] != "0" {
+		t.Fatalf("missing extra should be 0, got %v", rows[2][8])
+	}
+}

@@ -1,0 +1,150 @@
+// Package fl provides the federated-learning core shared by FedProphet and
+// every baseline: the experiment environment (federated data split, device
+// fleet, hyperparameters), client sampling, weighted parameter aggregation
+// (FedAvg), and the Method/Result types the experiment harness consumes.
+package fl
+
+import (
+	"math/rand"
+
+	"fedprophet/internal/data"
+	"fedprophet/internal/device"
+	"fedprophet/internal/simlat"
+)
+
+// Config carries the training hyperparameters of §7.1 / Appendix B.4.
+type Config struct {
+	NumClients      int     // N
+	ClientsPerRound int     // C
+	Rounds          int     // total communication rounds
+	LocalIters      int     // E local SGD iterations per round
+	Batch           int     // B
+	LR              float64 // η0
+	LRDecay         float64 // γ, ηt = γ^t·η0
+	Momentum        float64
+	WeightDecay     float64
+
+	// Adversarial training / evaluation.
+	Eps         float64 // ε0 = 8/255
+	TrainPGD    int     // PGD-n during training (10 in the paper)
+	EvalPGD     int     // PGD-n at evaluation (20 in the paper)
+	EvalAASteps int     // steps for the AutoAttack surrogate
+	EvalBatch   int
+	Seed        int64
+}
+
+// DefaultConfig returns the paper's hyperparameters scaled to the synthetic
+// workloads (learning rate raised for the narrower models; round counts are
+// set per experiment).
+func DefaultConfig() Config {
+	return Config{
+		NumClients:      100,
+		ClientsPerRound: 10,
+		Rounds:          40,
+		LocalIters:      30,
+		Batch:           16,
+		LR:              0.02,
+		LRDecay:         0.994,
+		Momentum:        0.9,
+		WeightDecay:     1e-4,
+		Eps:             8.0 / 255,
+		TrainPGD:        10,
+		EvalPGD:         20,
+		EvalAASteps:     20,
+		EvalBatch:       32,
+		Seed:            1,
+	}
+}
+
+// Env is the full experimental environment handed to a Method.
+type Env struct {
+	Train   *data.Dataset
+	Subsets []*data.Subset // per-client local data
+	Val     *data.Dataset  // server-side validation (APA monitoring)
+	Test    *data.Dataset
+	Public  *data.Dataset // public distillation set for the KD baselines
+	Fleet   *device.Fleet
+	Cfg     Config
+	Rng     *rand.Rand
+}
+
+// RoundMetrics records the per-round telemetry used by Figures 7 and 10.
+type RoundMetrics struct {
+	Round      int
+	Loss       float64
+	Latency    simlat.Latency
+	PerDimPert float64 // ε per input dimension of the module under training (Fig. 10)
+	Module     int     // module index under training (FedProphet)
+}
+
+// Result is what a Method reports after training.
+type Result struct {
+	Method   string
+	CleanAcc float64
+	PGDAcc   float64
+	AAAcc    float64
+	Latency  simlat.Latency // accumulated synchronous round latency
+	History  []RoundMetrics
+	Extra    map[string]float64
+}
+
+// Method is a federated training algorithm.
+type Method interface {
+	Name() string
+	Run(env *Env) *Result
+}
+
+// SampleClients draws c distinct client indices out of n.
+func SampleClients(n, c int, rng *rand.Rand) []int {
+	if c > n {
+		c = n
+	}
+	perm := rng.Perm(n)
+	out := append([]int(nil), perm[:c]...)
+	return out
+}
+
+// WeightedAverage aggregates parameter vectors with the given non-negative
+// weights (FedAvg, Eq. 1): result = Σ qk·vk / Σ qk.
+func WeightedAverage(vecs [][]float64, weights []float64) []float64 {
+	if len(vecs) == 0 {
+		return nil
+	}
+	if len(vecs) != len(weights) {
+		panic("fl: vectors and weights length mismatch")
+	}
+	n := len(vecs[0])
+	out := make([]float64, n)
+	total := 0.0
+	for k, v := range vecs {
+		if len(v) != n {
+			panic("fl: inconsistent vector lengths")
+		}
+		w := weights[k]
+		if w < 0 {
+			panic("fl: negative weight")
+		}
+		total += w
+		for i, x := range v {
+			out[i] += w * x
+		}
+	}
+	if total == 0 {
+		return out
+	}
+	inv := 1.0 / total
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// SubsetWeights returns the FedAvg data-size weights qk for the selected
+// clients.
+func SubsetWeights(subsets []*data.Subset, selected []int) []float64 {
+	w := make([]float64, len(selected))
+	for i, k := range selected {
+		w[i] = float64(subsets[k].Len())
+	}
+	return w
+}

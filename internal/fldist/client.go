@@ -1,0 +1,140 @@
+package fldist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+
+	"fedprophet/internal/attack"
+	"fedprophet/internal/data"
+	"fedprophet/internal/fl"
+	"fedprophet/internal/nn"
+)
+
+// Client is one federated participant talking to a parameter Server over
+// HTTP. It owns a local model replica (structurally identical to the
+// server's), its local data subset, and the training hyperparameters.
+type Client struct {
+	ID       int
+	BaseURL  string
+	HTTP     *http.Client
+	Model    nn.Layer
+	Subset   *data.Subset
+	Cfg      fl.Config
+	Rng      *rand.Rand
+	PGDSteps int // 0 = standard training
+}
+
+// Pull fetches the current global model and loads it into the local replica.
+// It returns the server round the blob belongs to.
+func (c *Client) Pull() (int, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/model")
+	if err != nil {
+		return 0, fmt.Errorf("fldist: pull: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return 0, fmt.Errorf("fldist: pull: %s: %s", resp.Status, body)
+	}
+	var blob ModelBlob
+	if err := gob.NewDecoder(resp.Body).Decode(&blob); err != nil {
+		return 0, fmt.Errorf("fldist: decoding model: %w", err)
+	}
+	nn.ImportParams(c.Model, blob.Params)
+	if len(blob.BN) > 0 {
+		nn.ImportBNStats(c.Model, blob.BN)
+	}
+	return blob.Round, nil
+}
+
+// TrainLocal runs the configured number of local (adversarial) SGD
+// iterations on the local subset, mirroring the in-process trainers.
+func (c *Client) TrainLocal(lr float64) float64 {
+	opt := nn.NewSGD(lr, c.Cfg.Momentum, c.Cfg.WeightDecay)
+	nn.ResetMomentum(c.Model.Params())
+	batches := data.Batches(c.Subset.Indices, c.Cfg.Batch, c.Rng)
+	if len(batches) == 0 {
+		return 0
+	}
+	total := 0.0
+	iters := 0
+	for iters < c.Cfg.LocalIters {
+		for _, b := range batches {
+			if iters >= c.Cfg.LocalIters {
+				break
+			}
+			x, y := data.Batch(c.Subset.Parent, b)
+			if c.PGDSteps > 0 {
+				x = attack.Perturb(attack.PGDConfig(c.Cfg.Eps, c.PGDSteps), x,
+					attack.CEGradFn(c.Model, y), c.Rng)
+			}
+			out := c.Model.Forward(x, true)
+			loss, g := nn.SoftmaxCrossEntropy(out, y)
+			nn.ZeroGrads(c.Model)
+			c.Model.Backward(g)
+			opt.Step(c.Model.Params())
+			total += loss
+			iters++
+		}
+	}
+	return total / float64(iters)
+}
+
+// Push uploads the trained replica for the given round. A 409 response
+// (stale round) is reported as ErrStaleRound so callers can re-pull.
+func (c *Client) Push(round int) error {
+	u := Update{
+		ClientID: c.ID,
+		Round:    round,
+		Weight:   float64(c.Subset.Len()),
+		Params:   nn.ExportParams(c.Model),
+		BN:       nn.ExportBNStats(c.Model),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(u); err != nil {
+		return fmt.Errorf("fldist: encoding update: %w", err)
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+"/update", "application/octet-stream", &buf)
+	if err != nil {
+		return fmt.Errorf("fldist: push: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return nil
+	case http.StatusConflict:
+		return ErrStaleRound
+	default:
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("fldist: push: %s: %s", resp.Status, body)
+	}
+}
+
+// ErrStaleRound signals that the server moved on before this client's
+// update arrived; the client should Pull and retrain.
+var ErrStaleRound = fmt.Errorf("fldist: update for a stale round")
+
+// RunRounds participates in n federated rounds: pull, train, push,
+// retrying on stale rounds.
+func (c *Client) RunRounds(n int, lr float64) error {
+	for done := 0; done < n; {
+		round, err := c.Pull()
+		if err != nil {
+			return err
+		}
+		c.TrainLocal(lr)
+		switch err := c.Push(round); err {
+		case nil:
+			done++
+		case ErrStaleRound:
+			continue // re-pull and retrain on the fresh model
+		default:
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+// Package fldist provides a real distributed transport for the federated
+// training loop: an HTTP parameter server speaking gob-encoded model blobs,
+// and a client that pulls the global model, trains locally (PGD adversarial
+// training), and pushes weighted updates. Everything else in this repository
+// simulates federation in-process for experimental control; this package is
+// the deployment path a downstream user of the library would run on actual
+// edge devices, with the same FedAvg/partial-average semantics.
+package fldist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"fedprophet/internal/fl"
+)
+
+// ModelBlob is the wire format of the global model state.
+type ModelBlob struct {
+	Round  int
+	Params []float64
+	BN     []float64
+}
+
+// Update is one client's contribution for a round.
+type Update struct {
+	ClientID int
+	Round    int
+	Weight   float64 // FedAvg weight qk (local dataset size)
+	Params   []float64
+	BN       []float64
+}
+
+// Server is a synchronous FedAvg parameter server: it collects
+// UpdatesPerRound client updates for the current round, aggregates them with
+// data-size weighting, and advances the round. Late or mismatched-round
+// updates are rejected with 409 so clients re-pull.
+type Server struct {
+	mu              sync.Mutex
+	round           int
+	params          []float64
+	bn              []float64
+	updatesPerRound int
+
+	pendingParams [][]float64
+	pendingBN     [][]float64
+	pendingW      []float64
+
+	// RoundsCompleted counts aggregations, exposed for tests/monitoring.
+	roundsCompleted int
+}
+
+// NewServer creates a parameter server seeded with the initial global model.
+func NewServer(initParams, initBN []float64, updatesPerRound int) *Server {
+	if updatesPerRound < 1 {
+		panic("fldist: updatesPerRound must be ≥ 1")
+	}
+	return &Server{
+		params:          append([]float64(nil), initParams...),
+		bn:              append([]float64(nil), initBN...),
+		updatesPerRound: updatesPerRound,
+	}
+}
+
+// Handler returns the HTTP routes of the parameter server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/model", s.handleModel)
+	mux.HandleFunc("/update", s.handleUpdate)
+	return mux
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	blob := ModelBlob{
+		Round:  s.round,
+		Params: append([]float64(nil), s.params...),
+		BN:     append([]float64(nil), s.bn...),
+	}
+	s.mu.Unlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(blob); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var u Update
+	if err := gob.NewDecoder(r.Body).Decode(&u); err != nil {
+		http.Error(w, fmt.Sprintf("bad update: %v", err), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if u.Round != s.round {
+		http.Error(w, fmt.Sprintf("stale round %d, server at %d", u.Round, s.round),
+			http.StatusConflict)
+		return
+	}
+	if len(u.Params) != len(s.params) || len(u.BN) != len(s.bn) {
+		http.Error(w, "shape mismatch", http.StatusBadRequest)
+		return
+	}
+	if u.Weight <= 0 {
+		http.Error(w, "non-positive weight", http.StatusBadRequest)
+		return
+	}
+	s.pendingParams = append(s.pendingParams, u.Params)
+	s.pendingBN = append(s.pendingBN, u.BN)
+	s.pendingW = append(s.pendingW, u.Weight)
+	if len(s.pendingParams) >= s.updatesPerRound {
+		s.params = fl.WeightedAverage(s.pendingParams, s.pendingW)
+		if len(s.bn) > 0 {
+			s.bn = fl.WeightedAverage(s.pendingBN, s.pendingW)
+		}
+		s.pendingParams, s.pendingBN, s.pendingW = nil, nil, nil
+		s.round++
+		s.roundsCompleted++
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// Round returns the server's current round.
+func (s *Server) Round() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.round
+}
+
+// RoundsCompleted returns how many aggregations have happened.
+func (s *Server) RoundsCompleted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.roundsCompleted
+}
+
+// Snapshot returns a copy of the current global parameters and BN stats.
+func (s *Server) Snapshot() ([]float64, []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.params...), append([]float64(nil), s.bn...)
+}

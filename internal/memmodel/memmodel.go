@@ -1,0 +1,76 @@
+// Package memmodel estimates the memory requirement and computational cost
+// of training a (sub)model, following the methodology of Rajbhandari et al.
+// (2020) as adopted by FedProphet §6.1: the training memory of a module is
+// the sum of model parameters, gradients, optimizer states, and intermediate
+// activations. FLOPs counts come from the layers themselves.
+package memmodel
+
+import (
+	"fedprophet/internal/nn"
+)
+
+// BytesPerScalar is the training precision assumed by the cost model
+// (float32, as on the paper's edge devices). The Go implementation trains in
+// float64 for numerical convenience; the cost model deliberately charges 4
+// bytes to match the systems analysis.
+const BytesPerScalar = 4
+
+// Costs summarizes the training footprint of a model slice.
+type Costs struct {
+	ParamBytes      int64 // parameters + gradients + optimizer state
+	ActivationBytes int64 // cached activations for one batch
+	TotalBytes      int64
+	ForwardFLOPs    int64 // one forward pass, one sample
+}
+
+// MemReq returns the bytes needed to train `layers` (treated as a cascade)
+// on inputs of per-sample shape inShape with the given batch size.
+//
+// Parameters are charged three times (weight, gradient, momentum buffer of
+// SGD). Activations are charged for the input plus every atom's output,
+// which is what a backward pass must retain.
+func MemReq(layers []nn.Layer, inShape []int, batch int) Costs {
+	var c Costs
+	params := 0
+	for _, l := range layers {
+		params += nn.NumParams(l)
+	}
+	c.ParamBytes = int64(params) * (1 + 1 + nn.OptimizerStatesPerParam) * BytesPerScalar
+
+	elems := int64(prod(inShape))
+	shape := inShape
+	var flops int64
+	for _, l := range layers {
+		flops += l.ForwardFLOPs(shape)
+		shape = l.OutShape(shape)
+		elems += int64(prod(shape))
+	}
+	c.ActivationBytes = elems * int64(batch) * BytesPerScalar
+	c.TotalBytes = c.ParamBytes + c.ActivationBytes
+	c.ForwardFLOPs = flops
+	return c
+}
+
+// MemReqModel is MemReq over all atoms of a model.
+func MemReqModel(m *nn.Model, batch int) Costs {
+	return MemReq(m.Atoms, m.InShape, batch)
+}
+
+// TrainingFLOPs returns the FLOPs of one local training iteration on a batch
+// under PGD-n adversarial training: n attack iterations (forward + input
+// backward) plus one training iteration (forward + full backward). The
+// backward pass is charged at twice the forward cost, the standard
+// approximation.
+func TrainingFLOPs(forwardPerSample int64, batch, pgdSteps int) int64 {
+	fwd := forwardPerSample * int64(batch)
+	perPass := fwd + 2*fwd // forward + backward
+	return int64(pgdSteps)*perPass + perPass
+}
+
+func prod(s []int) int {
+	p := 1
+	for _, v := range s {
+		p *= v
+	}
+	return p
+}

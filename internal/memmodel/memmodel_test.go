@@ -1,0 +1,101 @@
+package memmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedprophet/internal/nn"
+)
+
+func TestMemReqLinearLayerExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := nn.NewLinear(10, 5, rng)
+	c := MemReq([]nn.Layer{l}, []int{10}, 4)
+	// Params: 10*5 + 5 = 55; ×3 states ×4 bytes = 660.
+	if c.ParamBytes != 660 {
+		t.Fatalf("ParamBytes = %d, want 660", c.ParamBytes)
+	}
+	// Activations: input 10 + output 5 = 15 per sample ×4 batch ×4 bytes = 240.
+	if c.ActivationBytes != 240 {
+		t.Fatalf("ActivationBytes = %d, want 240", c.ActivationBytes)
+	}
+	if c.TotalBytes != 900 {
+		t.Fatalf("TotalBytes = %d, want 900", c.TotalBytes)
+	}
+	// FLOPs: 2·10·5 = 100 per sample.
+	if c.ForwardFLOPs != 100 {
+		t.Fatalf("ForwardFLOPs = %d, want 100", c.ForwardFLOPs)
+	}
+}
+
+func TestMemReqModelSumsAtoms(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := nn.CNN3([]int{3, 16, 16}, 10, 4, rng)
+	whole := MemReqModel(m, 8)
+
+	// Sum of per-atom costs must reproduce the whole-model parameter bytes,
+	// and activation bytes must add up after removing double-counted
+	// module-boundary inputs.
+	var paramSum int64
+	for _, a := range m.Atoms {
+		paramSum += int64(nn.NumParams(a)) * 3 * BytesPerScalar
+	}
+	if paramSum != whole.ParamBytes {
+		t.Fatalf("per-atom params %d != whole %d", paramSum, whole.ParamBytes)
+	}
+	if whole.TotalBytes <= whole.ParamBytes {
+		t.Fatal("activations must contribute")
+	}
+}
+
+func TestLargerBatchMoreActivationMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := nn.CNN3([]int{3, 16, 16}, 10, 4, rng)
+	small := MemReqModel(m, 4)
+	large := MemReqModel(m, 32)
+	if large.ActivationBytes != 8*small.ActivationBytes {
+		t.Fatalf("activation bytes must scale linearly with batch: %d vs %d",
+			small.ActivationBytes, large.ActivationBytes)
+	}
+	if small.ParamBytes != large.ParamBytes {
+		t.Fatal("param bytes must not depend on batch")
+	}
+}
+
+func TestVGG16SNeedsMoreThanCNN3(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	small := MemReqModel(nn.CNN3([]int{3, 16, 16}, 10, 8, rng), 16)
+	large := MemReqModel(nn.VGG16S([]int{3, 16, 16}, 10, 8, rng), 16)
+	if large.TotalBytes <= 2*small.TotalBytes {
+		t.Fatalf("VGG16-S (%d) should dwarf CNN3 (%d)", large.TotalBytes, small.TotalBytes)
+	}
+}
+
+func TestTrainingFLOPs(t *testing.T) {
+	// forward = 100 FLOPs/sample, batch 2, PGD-3:
+	// per pass = (100+200)*2 = 600; total = 3*600 + 600 = 2400.
+	got := TrainingFLOPs(100, 2, 3)
+	if got != 2400 {
+		t.Fatalf("TrainingFLOPs = %d, want 2400", got)
+	}
+	// Standard training is the PGD-0 case.
+	if TrainingFLOPs(100, 2, 0) != 600 {
+		t.Fatal("PGD-0 should equal one training pass")
+	}
+}
+
+func TestMemReqSubsliceIsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := nn.VGG16S([]int{3, 16, 16}, 10, 4, rng)
+	prev := int64(0)
+	shape := m.InShape
+	for i := 1; i <= len(m.Atoms); i++ {
+		c := MemReq(m.Atoms[:i], m.InShape, 8)
+		if c.TotalBytes <= prev {
+			t.Fatalf("prefix cost must strictly grow: atom %d cost %d prev %d", i, c.TotalBytes, prev)
+		}
+		prev = c.TotalBytes
+		shape = m.Atoms[i-1].OutShape(shape)
+	}
+	_ = shape
+}

@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"fedprophet/internal/tensor"
+)
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU constructs a ReLU activation.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward zeroes negative entries, caching the activation mask.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if cap(r.mask) < len(out.Data) {
+		r.mask = make([]bool, len(out.Data))
+	}
+	r.mask = r.mask[:len(out.Data)]
+	for i, v := range out.Data {
+		if v <= 0 {
+			out.Data[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward zeroes the gradient where the activation was clipped.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params returns nil: ReLU is parameter-free.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutShape is the identity.
+func (r *ReLU) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// ForwardFLOPs counts one comparison per element.
+func (r *ReLU) ForwardFLOPs(in []int) int64 { return int64(prodInts(in)) }
+
+// Name identifies the layer kind.
+func (r *ReLU) Name() string { return "relu" }
+
+// Flatten reshapes (B, C, H, W) (or any rank) into (B, C·H·W).
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten constructs a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens all non-batch dimensions.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = append(f.inShape[:0], x.Shape()...)
+	return x.Reshape(x.Dim(0), x.Len()/x.Dim(0))
+}
+
+// Backward restores the cached input shape.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// Params returns nil: Flatten is parameter-free.
+func (f *Flatten) Params() []*Param { return nil }
+
+// OutShape collapses the per-sample shape to a vector.
+func (f *Flatten) OutShape(in []int) []int { return []int{prodInts(in)} }
+
+// ForwardFLOPs is zero: flattening is free.
+func (f *Flatten) ForwardFLOPs(in []int) int64 { return 0 }
+
+// Name identifies the layer kind.
+func (f *Flatten) Name() string { return "flatten" }

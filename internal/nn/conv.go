@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"fedprophet/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW inputs with square kernels,
+// configurable stride and zero padding.
+type Conv2D struct {
+	InC, OutC   int
+	Kernel      int
+	Stride      int
+	Pad         int
+	W           *Param // (OutC, InC, K, K)
+	B           *Param // (OutC)
+	hasBias     bool
+	x           *tensor.Tensor // cached input
+	inH, inW    int
+	outH, outW  int
+	cachedTrain bool
+}
+
+// NewConv2D constructs a convolution with Kaiming-normal initialization.
+// If bias is false (the usual choice before batch norm), no bias term is
+// allocated.
+func NewConv2D(inC, outC, kernel, stride, pad int, bias bool, rng *rand.Rand) *Conv2D {
+	fanIn := float64(inC * kernel * kernel)
+	std := math.Sqrt(2.0 / fanIn)
+	w := tensor.Randn(rng, std, outC, inC, kernel, kernel)
+	c := &Conv2D{
+		InC: inC, OutC: outC, Kernel: kernel, Stride: stride, Pad: pad,
+		W: NewParam("conv.w", w, false), hasBias: bias,
+	}
+	if bias {
+		c.B = NewParam("conv.b", tensor.New(outC), true)
+	}
+	return c
+}
+
+func (c *Conv2D) outDims(h, w int) (int, int) {
+	oh := (h+2*c.Pad-c.Kernel)/c.Stride + 1
+	ow := (w+2*c.Pad-c.Kernel)/c.Stride + 1
+	return oh, ow
+}
+
+// Forward performs the convolution via direct loops. Inputs are NCHW.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	bsz, inC, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if inC != c.InC {
+		panic("nn: Conv2D channel mismatch")
+	}
+	oh, ow := c.outDims(h, w)
+	c.x, c.inH, c.inW, c.outH, c.outW, c.cachedTrain = x, h, w, oh, ow, train
+
+	out := tensor.New(bsz, c.OutC, oh, ow)
+	k, st, pad := c.Kernel, c.Stride, c.Pad
+	wd := c.W.Data.Data
+	for b := 0; b < bsz; b++ {
+		xb := x.Data[b*inC*h*w : (b+1)*inC*h*w]
+		ob := out.Data[b*c.OutC*oh*ow : (b+1)*c.OutC*oh*ow]
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := 0.0
+			if c.hasBias {
+				bias = c.B.Data.Data[oc]
+			}
+			oplane := ob[oc*oh*ow : (oc+1)*oh*ow]
+			for ic := 0; ic < inC; ic++ {
+				xplane := xb[ic*h*w : (ic+1)*h*w]
+				wBase := ((oc*inC + ic) * k) * k
+				for kh := 0; kh < k; kh++ {
+					for kw := 0; kw < k; kw++ {
+						wv := wd[wBase+kh*k+kw]
+						if wv == 0 {
+							continue
+						}
+						for oy := 0; oy < oh; oy++ {
+							iy := oy*st + kh - pad
+							if iy < 0 || iy >= h {
+								continue
+							}
+							xrow := xplane[iy*w : (iy+1)*w]
+							orow := oplane[oy*ow : (oy+1)*ow]
+							for ox := 0; ox < ow; ox++ {
+								ix := ox*st + kw - pad
+								if ix < 0 || ix >= w {
+									continue
+								}
+								orow[ox] += wv * xrow[ix]
+							}
+						}
+					}
+				}
+			}
+			if bias != 0 {
+				for i := range oplane {
+					oplane[i] += bias
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates weight/bias gradients and returns dL/dx.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	bsz := grad.Dim(0)
+	h, w, oh, ow := c.inH, c.inW, c.outH, c.outW
+	k, st, pad := c.Kernel, c.Stride, c.Pad
+	dx := tensor.New(bsz, c.InC, h, w)
+	wd := c.W.Data.Data
+	wg := c.W.Grad.Data
+
+	for b := 0; b < bsz; b++ {
+		xb := c.x.Data[b*c.InC*h*w : (b+1)*c.InC*h*w]
+		gb := grad.Data[b*c.OutC*oh*ow : (b+1)*c.OutC*oh*ow]
+		dxb := dx.Data[b*c.InC*h*w : (b+1)*c.InC*h*w]
+		for oc := 0; oc < c.OutC; oc++ {
+			gplane := gb[oc*oh*ow : (oc+1)*oh*ow]
+			if c.hasBias {
+				s := 0.0
+				for _, v := range gplane {
+					s += v
+				}
+				c.B.Grad.Data[oc] += s
+			}
+			for ic := 0; ic < c.InC; ic++ {
+				xplane := xb[ic*h*w : (ic+1)*h*w]
+				dxplane := dxb[ic*h*w : (ic+1)*h*w]
+				wBase := ((oc*c.InC + ic) * k) * k
+				for kh := 0; kh < k; kh++ {
+					for kw := 0; kw < k; kw++ {
+						wv := wd[wBase+kh*k+kw]
+						dwAcc := 0.0
+						for oy := 0; oy < oh; oy++ {
+							iy := oy*st + kh - pad
+							if iy < 0 || iy >= h {
+								continue
+							}
+							xrow := xplane[iy*w : (iy+1)*w]
+							dxrow := dxplane[iy*w : (iy+1)*w]
+							grow := gplane[oy*ow : (oy+1)*ow]
+							for ox := 0; ox < ow; ox++ {
+								ix := ox*st + kw - pad
+								if ix < 0 || ix >= w {
+									continue
+								}
+								g := grow[ox]
+								dwAcc += g * xrow[ix]
+								dxrow[ix] += g * wv
+							}
+						}
+						wg[wBase+kh*k+kw] += dwAcc
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns weight (and bias if present).
+func (c *Conv2D) Params() []*Param {
+	if c.hasBias {
+		return []*Param{c.W, c.B}
+	}
+	return []*Param{c.W}
+}
+
+// OutShape maps (C,H,W) to (OutC,H',W').
+func (c *Conv2D) OutShape(in []int) []int {
+	oh, ow := c.outDims(in[1], in[2])
+	return []int{c.OutC, oh, ow}
+}
+
+// ForwardFLOPs counts 2·K²·InC·OutC·H'·W' per sample.
+func (c *Conv2D) ForwardFLOPs(in []int) int64 {
+	oh, ow := c.outDims(in[1], in[2])
+	return 2 * int64(c.Kernel) * int64(c.Kernel) * int64(c.InC) * int64(c.OutC) * int64(oh) * int64(ow)
+}
+
+// Name identifies the layer kind.
+func (c *Conv2D) Name() string { return "conv2d" }

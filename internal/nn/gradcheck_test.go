@@ -1,0 +1,216 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedprophet/internal/tensor"
+)
+
+// numericalGrad estimates d(loss)/d(v[i]) by central differences, where loss
+// is recomputed through the full forward pass each time.
+func numericalGrad(loss func() float64, v []float64, i int) float64 {
+	const h = 1e-5
+	orig := v[i]
+	v[i] = orig + h
+	lp := loss()
+	v[i] = orig - h
+	lm := loss()
+	v[i] = orig
+	return (lp - lm) / (2 * h)
+}
+
+// checkLayerGrads validates both parameter gradients and the input gradient
+// of a layer against finite differences of a scalar loss L = Σ w ⊙ out
+// (random fixed weights w make the check sensitive to every output element).
+func checkLayerGrads(t *testing.T, l Layer, x *tensor.Tensor, train bool, tol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	var lossWeights *tensor.Tensor
+
+	forwardLoss := func() float64 {
+		out := l.Forward(x, train)
+		if lossWeights == nil {
+			lossWeights = tensor.Randn(rng, 1, out.Shape()...)
+		}
+		return tensor.Dot(out, lossWeights)
+	}
+
+	// Analytic gradients.
+	loss0 := forwardLoss()
+	_ = loss0
+	ZeroGrads(l)
+	dx := l.Backward(lossWeights.Clone())
+
+	// Check input gradient on a sample of positions.
+	for trial := 0; trial < 12; trial++ {
+		i := rng.Intn(len(x.Data))
+		ng := numericalGrad(forwardLoss, x.Data, i)
+		ag := dx.Data[i]
+		if math.Abs(ng-ag) > tol*(1+math.Abs(ng)) {
+			t.Fatalf("input grad mismatch at %d: numeric %g analytic %g", i, ng, ag)
+		}
+	}
+
+	// Check parameter gradients on a sample of positions.
+	for _, p := range l.Params() {
+		for trial := 0; trial < 8; trial++ {
+			i := rng.Intn(p.Data.Len())
+			ng := numericalGrad(forwardLoss, p.Data.Data, i)
+			ag := p.Grad.Data[i]
+			if math.Abs(ng-ag) > tol*(1+math.Abs(ng)) {
+				t.Fatalf("%s grad mismatch at %d: numeric %g analytic %g", p.Name, i, ng, ag)
+			}
+		}
+	}
+}
+
+func TestLinearGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(6, 4, rng)
+	x := tensor.Randn(rng, 1, 3, 6)
+	checkLayerGrads(t, l, x, true, 1e-6)
+}
+
+func TestConv2DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewConv2D(2, 3, 3, 1, 1, true, rng)
+	x := tensor.Randn(rng, 1, 2, 2, 5, 5)
+	checkLayerGrads(t, c, x, true, 1e-6)
+}
+
+func TestConv2DStridedGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewConv2D(2, 4, 3, 2, 1, false, rng)
+	x := tensor.Randn(rng, 1, 2, 2, 6, 6)
+	checkLayerGrads(t, c, x, true, 1e-6)
+}
+
+func TestConv2D1x1Gradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := NewConv2D(3, 2, 1, 2, 0, false, rng)
+	x := tensor.Randn(rng, 1, 2, 3, 4, 4)
+	checkLayerGrads(t, c, x, true, 1e-6)
+}
+
+func TestReLUGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.Randn(rng, 1, 4, 7)
+	// Nudge values away from 0 to avoid kink issues in finite differences.
+	for i, v := range x.Data {
+		if math.Abs(v) < 0.05 {
+			x.Data[i] = 0.1
+		}
+	}
+	checkLayerGrads(t, NewReLU(), x, true, 1e-6)
+}
+
+func TestMaxPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := tensor.Randn(rng, 1, 2, 2, 4, 4)
+	checkLayerGrads(t, NewMaxPool2D(2), x, true, 1e-5)
+}
+
+func TestGlobalAvgPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.Randn(rng, 1, 2, 3, 4, 4)
+	checkLayerGrads(t, NewGlobalAvgPool2D(), x, true, 1e-6)
+}
+
+func TestBatchNormTrainGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	bn := NewBatchNorm2D(3)
+	x := tensor.Randn(rng, 1, 4, 3, 3, 3)
+	checkLayerGrads(t, bn, x, true, 1e-4)
+}
+
+func TestBatchNormEvalGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	bn := NewBatchNorm2D(2)
+	// Populate running stats with a train pass first.
+	warm := tensor.Randn(rng, 1, 8, 2, 4, 4)
+	bn.Forward(warm, true)
+	x := tensor.Randn(rng, 1, 3, 2, 4, 4)
+	checkLayerGrads(t, bn, x, false, 1e-6)
+}
+
+func TestBasicBlockGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	b := NewBasicBlock(2, 4, 2, rng)
+	x := tensor.Randn(rng, 1, 2, 2, 6, 6)
+	checkLayerGrads(t, b, x, true, 1e-4)
+}
+
+func TestBasicBlockIdentityGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := NewBasicBlock(3, 3, 1, rng)
+	x := tensor.Randn(rng, 1, 2, 3, 4, 4)
+	checkLayerGrads(t, b, x, true, 1e-4)
+}
+
+func TestSequentialGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	s := NewSequential("test",
+		NewConv2D(2, 3, 3, 1, 1, false, rng),
+		NewBatchNorm2D(3),
+		NewReLU(),
+		NewMaxPool2D(2),
+		NewFlatten(),
+		NewLinear(3*2*2, 5, rng),
+	)
+	x := tensor.Randn(rng, 1, 2, 2, 4, 4)
+	checkLayerGrads(t, s, x, true, 1e-4)
+}
+
+func TestSoftmaxCrossEntropyGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	logits := tensor.Randn(rng, 1, 4, 5)
+	labels := []int{1, 0, 3, 2}
+
+	_, grad := SoftmaxCrossEntropy(logits, labels)
+	for trial := 0; trial < 20; trial++ {
+		i := rng.Intn(logits.Len())
+		ng := numericalGrad(func() float64 {
+			l, _ := SoftmaxCrossEntropy(logits, labels)
+			return l
+		}, logits.Data, i)
+		if math.Abs(ng-grad.Data[i]) > 1e-6*(1+math.Abs(ng)) {
+			t.Fatalf("CE grad mismatch at %d: numeric %g analytic %g", i, ng, grad.Data[i])
+		}
+	}
+}
+
+func TestCWMarginLossGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	logits := tensor.Randn(rng, 2, 3, 6) // well-separated to avoid argmax kinks
+	labels := []int{1, 5, 0}
+	_, grad := CWMarginLoss(logits, labels)
+	for trial := 0; trial < 15; trial++ {
+		i := rng.Intn(logits.Len())
+		ng := numericalGrad(func() float64 {
+			l, _ := CWMarginLoss(logits, labels)
+			return l
+		}, logits.Data, i)
+		if math.Abs(ng-grad.Data[i]) > 1e-5*(1+math.Abs(ng)) {
+			t.Fatalf("CW grad mismatch at %d: numeric %g analytic %g", i, ng, grad.Data[i])
+		}
+	}
+}
+
+func TestKLDivergenceGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	logits := tensor.Randn(rng, 1, 3, 4)
+	teacher := Softmax(tensor.Randn(rng, 1, 3, 4))
+	_, grad := KLDivergence(logits, teacher)
+	for trial := 0; trial < 15; trial++ {
+		i := rng.Intn(logits.Len())
+		ng := numericalGrad(func() float64 {
+			l, _ := KLDivergence(logits, teacher)
+			return l
+		}, logits.Data, i)
+		if math.Abs(ng-grad.Data[i]) > 1e-5*(1+math.Abs(ng)) {
+			t.Fatalf("KL grad mismatch at %d: numeric %g analytic %g", i, ng, grad.Data[i])
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package nn implements the neural-network substrate of the FedProphet
+// reproduction: layers with explicit forward/backward passes, parameter
+// containers, an SGD optimizer, losses, and the scaled model families used in
+// the paper's evaluation (VGG16-S, ResNet34-S, CNN3/CNN4, and the smaller
+// VGG/ResNet variants used by the knowledge-distillation baselines).
+//
+// Every Layer caches whatever it needs during Forward so that Backward can
+// return the gradient with respect to the layer input. That input gradient is
+// what powers both PGD adversarial-example generation and cascade learning's
+// intermediate-feature perturbations.
+package nn
+
+import (
+	"fmt"
+
+	"fedprophet/internal/tensor"
+)
+
+// Param is a trainable tensor together with its gradient accumulator and
+// optimizer state (momentum buffer, managed by SGD).
+type Param struct {
+	Name string
+	Data *tensor.Tensor
+	Grad *tensor.Tensor
+	// NoDecay marks parameters (biases, batch-norm affine terms) excluded
+	// from weight decay, following standard practice.
+	NoDecay bool
+
+	momentum *tensor.Tensor // lazily allocated by SGD
+}
+
+// NewParam allocates a parameter with a zeroed gradient of matching shape.
+func NewParam(name string, data *tensor.Tensor, noDecay bool) *Param {
+	return &Param{Name: name, Data: data, Grad: tensor.New(data.Shape()...), NoDecay: noDecay}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// NumElems returns the number of scalar weights in the parameter.
+func (p *Param) NumElems() int { return p.Data.Len() }
+
+// Layer is a differentiable unit. Forward consumes a batched input and
+// returns the batched output; Backward consumes dL/d(output) and returns
+// dL/d(input), accumulating parameter gradients along the way.
+//
+// OutShape and ForwardFLOPs describe the per-sample output geometry and
+// forward cost given a per-sample input shape (excluding the batch
+// dimension); they drive the memory/FLOPs cost model of internal/memmodel.
+type Layer interface {
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+	OutShape(in []int) []int
+	ForwardFLOPs(in []int) int64
+	Name() string
+}
+
+// ZeroGrads clears the gradients of every parameter of the layer.
+func ZeroGrads(l Layer) {
+	for _, p := range l.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total number of scalar parameters in the layer.
+func NumParams(l Layer) int {
+	n := 0
+	for _, p := range l.Params() {
+		n += p.NumElems()
+	}
+	return n
+}
+
+// CopyParams copies parameter values from src to dst. The two layers must
+// have structurally identical parameter lists.
+func CopyParams(dst, src Layer) {
+	dp, sp := dst.Params(), src.Params()
+	if len(dp) != len(sp) {
+		panic(fmt.Sprintf("nn: CopyParams arity mismatch %d vs %d", len(dp), len(sp)))
+	}
+	for i := range dp {
+		if dp[i].Data.Len() != sp[i].Data.Len() {
+			panic(fmt.Sprintf("nn: CopyParams size mismatch at %s", dp[i].Name))
+		}
+		copy(dp[i].Data.Data, sp[i].Data.Data)
+	}
+}
+
+func prodInts(s []int) int {
+	p := 1
+	for _, v := range s {
+		p *= v
+	}
+	return p
+}

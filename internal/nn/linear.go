@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"fedprophet/internal/tensor"
+)
+
+// Linear is a fully connected layer computing y = x·Wᵀ + b for
+// x of shape (B, In) and W of shape (Out, In).
+type Linear struct {
+	In, Out int
+	W       *Param // (Out, In)
+	B       *Param // (Out)
+
+	x *tensor.Tensor // cached input
+}
+
+// NewLinear constructs a Linear layer with Kaiming-uniform initialization.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	bound := math.Sqrt(6.0 / float64(in))
+	w := tensor.Uniform(rng, -bound, bound, out, in)
+	b := tensor.New(out)
+	return &Linear{
+		In:  in,
+		Out: out,
+		W:   NewParam("linear.w", w, false),
+		B:   NewParam("linear.b", b, true),
+	}
+}
+
+// Forward computes x·Wᵀ + b.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.x = x
+	out := tensor.MatMulTransB(x, l.W.Data) // (B,In)·(Out,In)ᵀ = (B,Out)
+	bsz := x.Dim(0)
+	for i := 0; i < bsz; i++ {
+		row := out.Data[i*l.Out : (i+1)*l.Out]
+		for j := 0; j < l.Out; j++ {
+			row[j] += l.B.Data.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW = gradᵀ·x, db = Σ grad, and returns grad·W.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	// dW (Out,In) = gradᵀ (Out,B) · x (B,In)
+	dw := tensor.MatMulTransA(grad, l.x)
+	l.W.Grad.AddInPlace(dw)
+
+	bsz := grad.Dim(0)
+	for i := 0; i < bsz; i++ {
+		row := grad.Data[i*l.Out : (i+1)*l.Out]
+		for j := 0; j < l.Out; j++ {
+			l.B.Grad.Data[j] += row[j]
+		}
+	}
+	// dX (B,In) = grad (B,Out) · W (Out,In)
+	return tensor.MatMul(grad, l.W.Data)
+}
+
+// Params returns the weight and bias.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// OutShape maps a per-sample input shape to (Out).
+func (l *Linear) OutShape(in []int) []int { return []int{l.Out} }
+
+// ForwardFLOPs counts 2·In·Out multiply-adds per sample.
+func (l *Linear) ForwardFLOPs(in []int) int64 {
+	return 2 * int64(l.In) * int64(l.Out)
+}
+
+// Name identifies the layer kind and size.
+func (l *Linear) Name() string { return "linear" }

@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedprophet/internal/tensor"
+)
+
+func TestLoRAStartsAtBaseModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := NewLinear(6, 4, rng)
+	lora := NewLoRALinear(base, 2, 4, rng)
+	x := tensor.Randn(rng, 1, 3, 6)
+	a := base.Forward(x, false)
+	b := lora.Forward(x, false)
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > 1e-12 {
+			t.Fatal("zero-initialized B must make LoRA match the base model")
+		}
+	}
+}
+
+func TestLoRAGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := NewLinear(5, 3, rng)
+	lora := NewLoRALinear(base, 2, 2, rng)
+	// Make B nonzero so its gradient path is exercised.
+	for i := range lora.B.Data.Data {
+		lora.B.Data.Data[i] = rng.NormFloat64() * 0.1
+	}
+	x := tensor.Randn(rng, 1, 4, 5)
+	checkLayerGrads(t, lora, x, true, 1e-5)
+}
+
+func TestLoRAOnlyAdaptersTrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := NewLinear(4, 4, rng)
+	lora := NewLoRALinear(base, 2, 2, rng)
+	if len(lora.Params()) != 2 {
+		t.Fatalf("LoRA must expose exactly A and B, got %d params", len(lora.Params()))
+	}
+	if NumParams(lora) >= NumParams(base) {
+		t.Fatalf("rank-2 adapters (%d) must be smaller than the 4x4 base (%d)",
+			NumParams(lora), NumParams(base))
+	}
+	wBefore := lora.W.Clone()
+	// One training step.
+	x := tensor.Randn(rng, 1, 4, 4)
+	out := lora.Forward(x, true)
+	_, g := SoftmaxCrossEntropy(out, []int{0, 1, 2, 3})
+	ZeroGrads(lora)
+	lora.Backward(g)
+	NewSGD(0.1, 0, 0).Step(lora.Params())
+	for i := range wBefore.Data {
+		if lora.W.Data[i] != wBefore.Data[i] {
+			t.Fatal("frozen base weight changed")
+		}
+	}
+}
+
+func TestLoRACanFitResidualTask(t *testing.T) {
+	// The base maps everything through a fixed random matrix; LoRA adapters
+	// must be able to learn a low-rank correction toward a target function.
+	rng := rand.New(rand.NewSource(4))
+	base := NewLinear(6, 6, rng)
+	lora := NewLoRALinear(base, 3, 6, rng)
+	opt := NewSGD(0.05, 0.9, 0)
+
+	x := tensor.Randn(rng, 1, 16, 6)
+	target := tensor.MatMulTransB(x, base.W.Data)
+	// Target adds a rank-1 shift.
+	u := tensor.Randn(rng, 1, 6, 1)
+	vt := tensor.Randn(rng, 1, 1, 6)
+	shift := tensor.MatMul(u, vt)
+	target.AddInPlace(tensor.MatMulTransB(x, shift))
+
+	loss := func() float64 {
+		out := lora.Forward(x, true)
+		d := tensor.Sub(out, target)
+		return 0.5 * tensor.Dot(d, d) / 16
+	}
+	first := loss()
+	for it := 0; it < 200; it++ {
+		out := lora.Forward(x, true)
+		d := tensor.Sub(out, target)
+		d.ScaleInPlace(1.0 / 16)
+		ZeroGrads(lora)
+		lora.Backward(d)
+		opt.Step(lora.Params())
+	}
+	last := loss()
+	if last > first*0.05 {
+		t.Fatalf("LoRA failed to fit a rank-1 residual: %g -> %g", first, last)
+	}
+}
+
+func TestLoRAMergedWeightMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := NewLinear(5, 4, rng)
+	lora := NewLoRALinear(base, 2, 2, rng)
+	for i := range lora.B.Data.Data {
+		lora.B.Data.Data[i] = rng.NormFloat64()
+	}
+	x := tensor.Randn(rng, 1, 3, 5)
+	want := lora.Forward(x, false)
+
+	merged := NewLinear(5, 4, rng)
+	copy(merged.W.Data.Data, lora.MergedWeight().Data)
+	copy(merged.B.Data.Data, lora.b.Data)
+	got := merged.Forward(x, false)
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-9 {
+			t.Fatal("merged weight disagrees with adapted forward")
+		}
+	}
+}
+
+func TestLoRAFLOPsAndShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	base := NewLinear(8, 4, rng)
+	lora := NewLoRALinear(base, 2, 2, rng)
+	if got := lora.OutShape([]int{8}); got[0] != 4 {
+		t.Fatalf("OutShape %v", got)
+	}
+	if lora.ForwardFLOPs([]int{8}) <= base.ForwardFLOPs([]int{8}) {
+		t.Fatal("adapter FLOPs must add to the base cost")
+	}
+}

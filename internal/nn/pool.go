@@ -1,0 +1,139 @@
+package nn
+
+import (
+	"fedprophet/internal/tensor"
+)
+
+// MaxPool2D is a max pooling layer with square window and stride equal to
+// the window size (the configuration used throughout the VGG family).
+type MaxPool2D struct {
+	Kernel int
+
+	argmax  []int // flat input index of each output element
+	inShape []int
+}
+
+// NewMaxPool2D constructs a max-pool with window k × k and stride k.
+func NewMaxPool2D(k int) *MaxPool2D { return &MaxPool2D{Kernel: k} }
+
+// Forward computes the pooled output and caches the winning indices.
+func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	bsz, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	k := m.Kernel
+	oh, ow := h/k, w/k
+	m.inShape = append(m.inShape[:0], x.Shape()...)
+	out := tensor.New(bsz, c, oh, ow)
+	if cap(m.argmax) < out.Len() {
+		m.argmax = make([]int, out.Len())
+	}
+	m.argmax = m.argmax[:out.Len()]
+
+	oi := 0
+	for b := 0; b < bsz; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					bestIdx, bestVal := -1, 0.0
+					for ky := 0; ky < k; ky++ {
+						iy := oy*k + ky
+						for kx := 0; kx < k; kx++ {
+							ix := ox*k + kx
+							idx := base + iy*w + ix
+							v := x.Data[idx]
+							if bestIdx < 0 || v > bestVal {
+								bestIdx, bestVal = idx, v
+							}
+						}
+					}
+					out.Data[oi] = bestVal
+					m.argmax[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes each output gradient to the winning input position.
+func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(m.inShape...)
+	for i, g := range grad.Data {
+		dx.Data[m.argmax[i]] += g
+	}
+	return dx
+}
+
+// Params returns nil: pooling is parameter-free.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// OutShape maps (C,H,W) to (C,H/k,W/k).
+func (m *MaxPool2D) OutShape(in []int) []int {
+	return []int{in[0], in[1] / m.Kernel, in[2] / m.Kernel}
+}
+
+// ForwardFLOPs counts one comparison per input element.
+func (m *MaxPool2D) ForwardFLOPs(in []int) int64 { return int64(prodInts(in)) }
+
+// Name identifies the layer kind.
+func (m *MaxPool2D) Name() string { return "maxpool2d" }
+
+// GlobalAvgPool2D averages each channel plane to a single value,
+// mapping (B,C,H,W) to (B,C).
+type GlobalAvgPool2D struct {
+	inShape []int
+}
+
+// NewGlobalAvgPool2D constructs a global average pooling layer.
+func NewGlobalAvgPool2D() *GlobalAvgPool2D { return &GlobalAvgPool2D{} }
+
+// Forward averages over the spatial dimensions.
+func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	bsz, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	g.inShape = append(g.inShape[:0], x.Shape()...)
+	out := tensor.New(bsz, c)
+	hw := h * w
+	inv := 1.0 / float64(hw)
+	for b := 0; b < bsz; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * hw
+			s := 0.0
+			for i := 0; i < hw; i++ {
+				s += x.Data[base+i]
+			}
+			out.Data[b*c+ch] = s * inv
+		}
+	}
+	return out
+}
+
+// Backward spreads each channel gradient uniformly over the plane.
+func (g *GlobalAvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	bsz, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
+	dx := tensor.New(g.inShape...)
+	hw := h * w
+	inv := 1.0 / float64(hw)
+	for b := 0; b < bsz; b++ {
+		for ch := 0; ch < c; ch++ {
+			gv := grad.Data[b*c+ch] * inv
+			base := (b*c + ch) * hw
+			for i := 0; i < hw; i++ {
+				dx.Data[base+i] = gv
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil: pooling is parameter-free.
+func (g *GlobalAvgPool2D) Params() []*Param { return nil }
+
+// OutShape maps (C,H,W) to (C).
+func (g *GlobalAvgPool2D) OutShape(in []int) []int { return []int{in[0]} }
+
+// ForwardFLOPs counts one add per input element.
+func (g *GlobalAvgPool2D) ForwardFLOPs(in []int) int64 { return int64(prodInts(in)) }
+
+// Name identifies the layer kind.
+func (g *GlobalAvgPool2D) Name() string { return "gap2d" }

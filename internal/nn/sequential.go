@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"fedprophet/internal/tensor"
+)
+
+// Sequential chains layers, itself satisfying Layer. It is the container for
+// both whole models and the "atoms" (conv+bn+relu triples, residual blocks)
+// that FedProphet's model partitioner treats as indivisible.
+type Sequential struct {
+	Layers []Layer
+	label  string
+}
+
+// NewSequential constructs a chain of layers with a diagnostic label.
+func NewSequential(label string, layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers, label: label}
+}
+
+// Forward applies each layer in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward applies the layers' backward passes in reverse order.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params concatenates the parameters of all layers.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// OutShape threads the per-sample shape through every layer.
+func (s *Sequential) OutShape(in []int) []int {
+	for _, l := range s.Layers {
+		in = l.OutShape(in)
+	}
+	return in
+}
+
+// ForwardFLOPs sums per-layer costs along the shape chain.
+func (s *Sequential) ForwardFLOPs(in []int) int64 {
+	var total int64
+	for _, l := range s.Layers {
+		total += l.ForwardFLOPs(in)
+		in = l.OutShape(in)
+	}
+	return total
+}
+
+// Name returns the label given at construction.
+func (s *Sequential) Name() string { return s.label }
+
+// BasicBlock is the ResNet residual unit: conv-bn-relu-conv-bn plus a skip
+// connection (with an optional 1×1 strided projection), followed by ReLU.
+type BasicBlock struct {
+	Conv1 *Conv2D
+	BN1   *BatchNorm2D
+	Conv2 *Conv2D
+	BN2   *BatchNorm2D
+	// Downsample projects the identity branch when stride>1 or channels
+	// change; nil otherwise.
+	DownConv *Conv2D
+	DownBN   *BatchNorm2D
+
+	relu1, relu2 *ReLU
+	skipInput    *tensor.Tensor
+}
+
+// OutShape maps (C,H,W) through the residual block.
+func (b *BasicBlock) OutShape(in []int) []int {
+	s := b.Conv1.OutShape(in)
+	return b.Conv2.OutShape(s)
+}
+
+// ForwardFLOPs sums both branches.
+func (b *BasicBlock) ForwardFLOPs(in []int) int64 {
+	mid := b.Conv1.OutShape(in)
+	total := b.Conv1.ForwardFLOPs(in) + b.BN1.ForwardFLOPs(mid) + b.relu1FLOPs(mid)
+	out := b.Conv2.OutShape(mid)
+	total += b.Conv2.ForwardFLOPs(mid) + b.BN2.ForwardFLOPs(out)
+	if b.DownConv != nil {
+		total += b.DownConv.ForwardFLOPs(in) + b.DownBN.ForwardFLOPs(out)
+	}
+	total += 2 * int64(prodInts(out)) // residual add + final relu
+	return total
+}
+
+func (b *BasicBlock) relu1FLOPs(in []int) int64 { return int64(prodInts(in)) }
+
+// Forward runs the two-branch computation, caching for backward.
+func (b *BasicBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	b.skipInput = x
+	out := b.Conv1.Forward(x, train)
+	out = b.BN1.Forward(out, train)
+	out = b.relu1.Forward(out, train)
+	out = b.Conv2.Forward(out, train)
+	out = b.BN2.Forward(out, train)
+
+	var skip *tensor.Tensor
+	if b.DownConv != nil {
+		skip = b.DownConv.Forward(x, train)
+		skip = b.DownBN.Forward(skip, train)
+	} else {
+		skip = x
+	}
+	out = tensor.Add(out, skip)
+	return b.relu2.Forward(out, train)
+}
+
+// Backward propagates through both branches and sums the input gradients.
+func (b *BasicBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	grad = b.relu2.Backward(grad)
+
+	// Main branch.
+	g := b.BN2.Backward(grad)
+	g = b.Conv2.Backward(g)
+	g = b.relu1.Backward(g)
+	g = b.BN1.Backward(g)
+	dxMain := b.Conv1.Backward(g)
+
+	// Skip branch.
+	var dxSkip *tensor.Tensor
+	if b.DownConv != nil {
+		gs := b.DownBN.Backward(grad)
+		dxSkip = b.DownConv.Backward(gs)
+	} else {
+		dxSkip = grad
+	}
+	return tensor.Add(dxMain, dxSkip)
+}
+
+// Params concatenates both branches' parameters.
+func (b *BasicBlock) Params() []*Param {
+	ps := append(b.Conv1.Params(), b.BN1.Params()...)
+	ps = append(ps, b.Conv2.Params()...)
+	ps = append(ps, b.BN2.Params()...)
+	if b.DownConv != nil {
+		ps = append(ps, b.DownConv.Params()...)
+		ps = append(ps, b.DownBN.Params()...)
+	}
+	return ps
+}
+
+// Name identifies the layer kind.
+func (b *BasicBlock) Name() string { return "basicblock" }

@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// checkpoint is the on-wire format of a model's trainable state: parameter
+// tensors in Params() order plus batch-norm running statistics.
+type checkpoint struct {
+	Label   string
+	Params  [][]float64
+	BNStats []float64
+}
+
+// SaveParams serializes the layer's parameters and batch-norm statistics to
+// w using encoding/gob. The layer's architecture is NOT serialized — loading
+// requires a structurally identical layer, which keeps checkpoints compact
+// and forward-compatible with code changes that do not alter shapes.
+func SaveParams(w io.Writer, l Layer) error {
+	cp := checkpoint{Label: l.Name(), BNStats: ExportBNStats(l)}
+	for _, p := range l.Params() {
+		vec := make([]float64, p.Data.Len())
+		copy(vec, p.Data.Data)
+		cp.Params = append(cp.Params, vec)
+	}
+	return gob.NewEncoder(w).Encode(cp)
+}
+
+// LoadParams restores a checkpoint produced by SaveParams into a
+// structurally identical layer.
+func LoadParams(r io.Reader, l Layer) error {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("nn: decoding checkpoint: %w", err)
+	}
+	ps := l.Params()
+	if len(cp.Params) != len(ps) {
+		return fmt.Errorf("nn: checkpoint has %d parameter tensors, layer has %d",
+			len(cp.Params), len(ps))
+	}
+	for i, p := range ps {
+		if len(cp.Params[i]) != p.Data.Len() {
+			return fmt.Errorf("nn: checkpoint tensor %d has %d elements, layer needs %d",
+				i, len(cp.Params[i]), p.Data.Len())
+		}
+	}
+	for i, p := range ps {
+		copy(p.Data.Data, cp.Params[i])
+	}
+	if len(cp.BNStats) != len(ExportBNStats(l)) {
+		return fmt.Errorf("nn: checkpoint BN statistics size mismatch")
+	}
+	if len(cp.BNStats) > 0 {
+		ImportBNStats(l, cp.BNStats)
+	}
+	return nil
+}

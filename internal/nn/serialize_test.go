@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"fedprophet/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := CNN3([]int{3, 16, 16}, 10, 4, rng)
+	// Train one step so BN running stats are non-trivial.
+	x := tensor.Uniform(rng, 0, 1, 4, 3, 16, 16)
+	src.Forward(x, true)
+
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := CNN3([]int{3, 16, 16}, 10, 4, rand.New(rand.NewSource(99)))
+	if err := LoadParams(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+
+	a := src.Forward(x, false)
+	b := dst.Forward(x, false)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("restored model produces different outputs")
+		}
+	}
+}
+
+func TestLoadRejectsWrongArchitecture(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := CNN3([]int{3, 16, 16}, 10, 4, rng)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	other := CNN4([]int{3, 24, 24}, 32, 4, rng)
+	if err := LoadParams(&buf, other); err == nil {
+		t.Fatal("loading into a mismatched architecture must fail")
+	}
+	// And the target must be untouched on failure paths that detect the
+	// mismatch before writing.
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := CNN3([]int{3, 16, 16}, 10, 4, rng)
+	if err := LoadParams(bytes.NewReader([]byte("not a checkpoint")), m); err == nil {
+		t.Fatal("garbage input must fail to decode")
+	}
+}
+
+func TestSaveLoadResNetWithBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	src := ResNet10S([]int{3, 16, 16}, 8, 4, rng)
+	x := tensor.Uniform(rng, 0, 1, 2, 3, 16, 16)
+	src.Forward(x, true)
+
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := ResNet10S([]int{3, 16, 16}, 8, 4, rand.New(rand.NewSource(5)))
+	if err := LoadParams(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	a := src.Forward(x, false)
+	b := dst.Forward(x, false)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("ResNet round trip failed")
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package quant implements symmetric low-bit quantization of parameter
+// vectors, the parameter-level memory/communication reduction the paper's §8
+// names as complementary to FedProphet's layer-level partitioning. Clients
+// can upload quantized module updates and the server dequantizes before
+// partial averaging.
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quantized is a symmetric per-vector quantization of a float64 slice:
+// value ≈ Scale · code with code ∈ [−(2^(Bits−1)−1), 2^(Bits−1)−1].
+type Quantized struct {
+	Scale float64
+	Bits  int
+	N     int
+	// Codes are bit-packed little-endian into bytes.
+	Codes []byte
+}
+
+// maxCode returns the largest representable magnitude for b bits.
+func maxCode(bits int) int { return (1 << (bits - 1)) - 1 }
+
+// Quantize compresses v at the given bit width (2..8).
+func Quantize(v []float64, bits int) Quantized {
+	if bits < 2 || bits > 8 {
+		panic(fmt.Sprintf("quant: bits must be in [2,8], got %d", bits))
+	}
+	maxAbs := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	mc := maxCode(bits)
+	scale := maxAbs / float64(mc)
+	q := Quantized{Scale: scale, Bits: bits, N: len(v)}
+	q.Codes = make([]byte, (len(v)*bits+7)/8)
+	if scale == 0 {
+		return q
+	}
+	bitPos := 0
+	mask := (1 << bits) - 1
+	for _, x := range v {
+		code := int(math.Round(x / scale))
+		if code > mc {
+			code = mc
+		} else if code < -mc {
+			code = -mc
+		}
+		u := code & mask // two's complement within `bits` bits
+		byteIdx := bitPos / 8
+		off := bitPos % 8
+		q.Codes[byteIdx] |= byte(u << off)
+		if off+bits > 8 {
+			q.Codes[byteIdx+1] |= byte(u >> (8 - off))
+		}
+		bitPos += bits
+	}
+	return q
+}
+
+// Dequantize reconstructs the approximate float vector.
+func (q Quantized) Dequantize() []float64 {
+	out := make([]float64, q.N)
+	if q.Scale == 0 {
+		return out
+	}
+	mask := (1 << q.Bits) - 1
+	signBit := 1 << (q.Bits - 1)
+	bitPos := 0
+	for i := 0; i < q.N; i++ {
+		byteIdx := bitPos / 8
+		off := bitPos % 8
+		u := int(q.Codes[byteIdx]) >> off
+		if off+q.Bits > 8 {
+			u |= int(q.Codes[byteIdx+1]) << (8 - off)
+		}
+		u &= mask
+		code := u
+		if u&signBit != 0 {
+			code = u - (1 << q.Bits) // sign-extend
+		}
+		out[i] = float64(code) * q.Scale
+		bitPos += q.Bits
+	}
+	return out
+}
+
+// Bytes returns the wire size of the quantized vector including the scale
+// and header.
+func (q Quantized) Bytes() int { return len(q.Codes) + 8 /*scale*/ + 2 /*bits,n header*/ }
+
+// MaxError returns the worst-case absolute reconstruction error, Scale/2.
+func (q Quantized) MaxError() float64 { return q.Scale / 2 }
+
+// CompressRatio returns float32-bytes / quantized-bytes, the communication
+// saving relative to uncompressed uploads.
+func (q Quantized) CompressRatio() float64 {
+	if q.Bytes() == 0 {
+		return 0
+	}
+	return float64(4*q.N) / float64(q.Bytes())
+}

@@ -1,0 +1,118 @@
+// Package simlat is the analytic latency simulator of the FedProphet
+// reproduction. It converts the training work of a federated round —
+// measured in FLOPs by internal/memmodel — and the memory-swap traffic
+// implied by training beyond a device's available memory into wall-clock
+// seconds, using each device's real-time performance and storage I/O
+// bandwidth (internal/device). Figure 2, Figure 7, Table 4 and the speedup
+// claims are all produced by this model.
+package simlat
+
+import (
+	"fedprophet/internal/device"
+)
+
+// Utilization is the fraction of a device's peak FLOP rate that a training
+// workload actually achieves (kernel-launch overheads, memory-bound layers).
+// A constant is sufficient because only latency *ratios* between methods
+// matter for the reproduced figures.
+const Utilization = 0.35
+
+// MemCalibration maps a device-pool memory capacity (GB) to an effective
+// training budget in cost-model bytes, so that the scaled-down Go models
+// face the same *relative* memory pressure as the paper's full-size models:
+// the strongest device in the pool can just train the whole model
+// (budget = Headroom × full-model requirement), and every other device
+// scales linearly. With the paper's pools this leaves the weakest devices
+// around 20–30% of the full requirement — exactly the regime in which jFAT
+// must swap and FedProphet's Rmin = 20% partition is feasible everywhere.
+type MemCalibration struct {
+	PoolMaxGB    float64
+	FullModelReq int64   // bytes, from memmodel.MemReqModel
+	Headroom     float64 // budget of the strongest device, in full-model units
+}
+
+// NewMemCalibration builds the calibration used by all experiments
+// (headroom 1.25).
+func NewMemCalibration(poolMaxGB float64, fullModelReq int64) MemCalibration {
+	return MemCalibration{PoolMaxGB: poolMaxGB, FullModelReq: fullModelReq, Headroom: 1.25}
+}
+
+// Budget converts an available memory in GB into cost-model bytes.
+func (c MemCalibration) Budget(availGB float64) int64 {
+	if c.PoolMaxGB == 0 {
+		return 0
+	}
+	return int64(availGB / c.PoolMaxGB * c.Headroom * float64(c.FullModelReq))
+}
+
+// Work is the local training work of one client in one round.
+type Work struct {
+	FLOPs     int64 // total training FLOPs across all local iterations
+	MemReq    int64 // bytes required to train the assigned (sub)model
+	MemBudget int64 // bytes available on the device
+	Passes    int64 // forward+backward passes across all local iterations
+	Swap      bool  // whether the method swaps when MemReq > MemBudget
+}
+
+// Latency is a compute/data-access breakdown in seconds.
+type Latency struct {
+	Compute    float64
+	DataAccess float64
+}
+
+// Total returns compute + data access.
+func (l Latency) Total() float64 { return l.Compute + l.DataAccess }
+
+// Add accumulates another latency.
+func (l *Latency) Add(o Latency) {
+	l.Compute += o.Compute
+	l.DataAccess += o.DataAccess
+}
+
+// ClientLatency evaluates the wall-clock cost of w on a device snapshot.
+//
+// Compute time is FLOPs / (perf × utilization). If the work's memory
+// requirement exceeds the budget and the method swaps, every forward+backward
+// pass must spill and refill the overflow through storage:
+// traffic = 2 × (MemReq − MemBudget) × Passes, at the device's I/O bandwidth.
+// A fixed per-byte software-driver overhead factor is folded into the
+// bandwidth term via DriverOverhead.
+func ClientLatency(w Work, snap device.Snapshot) Latency {
+	var lat Latency
+	perf := snap.AvailPerf * device.TFLOPS * Utilization
+	if perf > 0 {
+		lat.Compute = float64(w.FLOPs) / perf
+	}
+	if w.Swap && w.MemReq > w.MemBudget {
+		overflow := w.MemReq - w.MemBudget
+		traffic := 2 * float64(overflow) * float64(w.Passes)
+		bw := snap.Device.IOBandwidth * float64(device.GB) * DriverEfficiency
+		if bw > 0 {
+			lat.DataAccess = traffic / bw
+		}
+	}
+	return lat
+}
+
+// DriverEfficiency is the fraction of raw storage bandwidth that survives
+// software-driver management overhead (§3 attributes the high data-access
+// latency to driver overhead and low storage bandwidth).
+const DriverEfficiency = 0.25
+
+// RoundLatency is the synchronization-time of one synchronous FL round: the
+// maximum over the participating clients' latencies (the paper's FL rounds
+// are synchronous; the slowest client gates the round).
+func RoundLatency(clients []Latency) Latency {
+	var worst Latency
+	for _, l := range clients {
+		if l.Total() > worst.Total() {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// PassesPerBatch returns the number of forward+backward passes one training
+// batch costs under PGD-n adversarial training: n attack passes plus one
+// training pass.
+func PassesPerBatch(pgdSteps int) int64 { return int64(pgdSteps) + 1 }

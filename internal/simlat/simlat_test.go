@@ -1,0 +1,119 @@
+package simlat
+
+import (
+	"math"
+	"testing"
+
+	"fedprophet/internal/device"
+)
+
+func snap(perfTFLOPS, memGB, bwGBs float64) device.Snapshot {
+	return device.Snapshot{
+		Device:     device.Device{Name: "test", PeakTFLOPS: perfTFLOPS, PeakMemGB: memGB, IOBandwidth: bwGBs},
+		AvailMemGB: memGB,
+		AvailPerf:  perfTFLOPS,
+	}
+}
+
+func TestComputeLatencyScalesWithFLOPs(t *testing.T) {
+	s := snap(1.0, 4, 16)
+	a := ClientLatency(Work{FLOPs: 1e12}, s)
+	b := ClientLatency(Work{FLOPs: 2e12}, s)
+	if math.Abs(b.Compute-2*a.Compute) > 1e-9*a.Compute {
+		t.Fatalf("compute must scale linearly: %v vs %v", a.Compute, b.Compute)
+	}
+	if a.DataAccess != 0 {
+		t.Fatal("no swap requested, data access must be zero")
+	}
+}
+
+func TestSwapTrafficOnlyWhenOverBudget(t *testing.T) {
+	s := snap(1.0, 4, 2)
+	under := ClientLatency(Work{FLOPs: 1e9, MemReq: 100, MemBudget: 200, Passes: 10, Swap: true}, s)
+	if under.DataAccess != 0 {
+		t.Fatal("within budget must not swap")
+	}
+	over := ClientLatency(Work{FLOPs: 1e9, MemReq: 300, MemBudget: 200, Passes: 10, Swap: true}, s)
+	if over.DataAccess <= 0 {
+		t.Fatal("over budget with swap must incur data access")
+	}
+	noswap := ClientLatency(Work{FLOPs: 1e9, MemReq: 300, MemBudget: 200, Passes: 10, Swap: false}, s)
+	if noswap.DataAccess != 0 {
+		t.Fatal("swap disabled must not incur data access")
+	}
+}
+
+func TestSwapTrafficFormula(t *testing.T) {
+	s := snap(1.0, 4, 1) // 1 GB/s
+	w := Work{FLOPs: 0, MemReq: device.GB + 1000, MemBudget: 1000, Passes: 3, Swap: true}
+	lat := ClientLatency(w, s)
+	// traffic = 2 × 1GB × 3 = 6GB at 1GB/s × DriverEfficiency.
+	want := 6.0 / DriverEfficiency
+	if math.Abs(lat.DataAccess-want) > 1e-9 {
+		t.Fatalf("DataAccess = %v, want %v", lat.DataAccess, want)
+	}
+}
+
+func TestSlowStorageHurtsMore(t *testing.T) {
+	w := Work{FLOPs: 1e9, MemReq: 1 << 28, MemBudget: 1 << 26, Passes: 11, Swap: true}
+	fast := ClientLatency(w, snap(1, 4, 16))
+	slow := ClientLatency(w, snap(1, 4, 1.5))
+	if slow.DataAccess <= fast.DataAccess {
+		t.Fatal("lower bandwidth must increase data-access latency")
+	}
+}
+
+func TestRoundLatencyIsMax(t *testing.T) {
+	ls := []Latency{
+		{Compute: 1, DataAccess: 0},
+		{Compute: 0.5, DataAccess: 2},
+		{Compute: 0.1, DataAccess: 0.1},
+	}
+	r := RoundLatency(ls)
+	if r.Total() != 2.5 {
+		t.Fatalf("RoundLatency total = %v, want 2.5", r.Total())
+	}
+}
+
+func TestMemCalibration(t *testing.T) {
+	cal := NewMemCalibration(4, 1000)
+	// Strongest device (4 GB) gets 1.25× the full model requirement.
+	if got := cal.Budget(4); got != 1250 {
+		t.Fatalf("Budget(4GB) = %d, want 1250", got)
+	}
+	// A 1 GB device gets a quarter of that.
+	if got := cal.Budget(1); got != 312 {
+		t.Fatalf("Budget(1GB) = %d, want 312", got)
+	}
+	if cal.Budget(0.8) >= cal.Budget(3.2) {
+		t.Fatal("budget must be monotone in available memory")
+	}
+}
+
+func TestPassesPerBatch(t *testing.T) {
+	if PassesPerBatch(10) != 11 {
+		t.Fatalf("PassesPerBatch(10) = %d", PassesPerBatch(10))
+	}
+	if PassesPerBatch(0) != 1 {
+		t.Fatal("standard training is one pass")
+	}
+}
+
+// The Figure 2 regime: with ~20% of required memory, swap-based training must
+// be dominated by data access on a low-bandwidth device.
+func TestSwapDominatesInFigure2Regime(t *testing.T) {
+	memReq := int64(300 << 20) // ~300 MB, as VGG16 in the paper
+	budget := memReq / 5       // 20%
+	w := Work{
+		FLOPs:     5e12,
+		MemReq:    memReq,
+		MemBudget: budget,
+		Passes:    11 * 30, // PGD-10 × 30 local iterations
+		Swap:      true,
+	}
+	lat := ClientLatency(w, snap(1.3, 4, 1.5)) // TX2
+	if lat.DataAccess <= lat.Compute {
+		t.Fatalf("data access (%v) should dominate compute (%v) when swapping",
+			lat.DataAccess, lat.Compute)
+	}
+}

@@ -1,0 +1,429 @@
+// Package tensor provides a minimal dense float64 tensor library used by the
+// neural-network substrate of FedProphet. It supports n-dimensional shapes,
+// row-major storage, elementwise arithmetic, matrix multiplication, reductions
+// and norms. It deliberately avoids views with non-contiguous strides: every
+// tensor owns a contiguous buffer, which keeps the backprop code simple and
+// the memory accounting exact.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense, row-major, contiguous n-dimensional array of float64.
+type Tensor struct {
+	Data  []float64
+	shape []int
+}
+
+// New creates a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panic(fmt.Sprintf("tensor: invalid dimension %d in shape %v", s, shape))
+		}
+		n *= s
+	}
+	return &Tensor{Data: make([]float64, n), shape: append([]int(nil), shape...)}
+}
+
+// FromSlice wraps data in a tensor with the given shape. The slice is used
+// directly (not copied); len(data) must equal the shape's element count.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v needs %d elements, got %d", shape, n, len(data)))
+	}
+	return &Tensor{Data: data, shape: append([]int(nil), shape...)}
+}
+
+// Randn fills a new tensor with N(0, std²) samples drawn from rng.
+func Randn(rng *rand.Rand, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+	return t
+}
+
+// Uniform fills a new tensor with U[lo, hi) samples drawn from rng.
+func Uniform(rng *rand.Rand, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return t
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// mutated by the caller.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// NumDims returns the number of dimensions.
+func (t *Tensor) NumDims() int { return len(t.shape) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a tensor sharing t's buffer with a new shape of equal
+// element count.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)",
+			t.shape, len(t.Data), shape, n))
+	}
+	return &Tensor{Data: t.Data, shape: append([]int(nil), shape...)}
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index %v does not match shape %v", idx, t.shape))
+	}
+	off := 0
+	for i, ix := range idx {
+		if ix < 0 || ix >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + ix
+	}
+	return off
+}
+
+// Zero sets all elements to zero in place.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets all elements to v in place.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// AddInPlace computes t += o elementwise.
+func (t *Tensor) AddInPlace(o *Tensor) *Tensor {
+	mustMatch(t, o, "AddInPlace")
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+	return t
+}
+
+// SubInPlace computes t -= o elementwise.
+func (t *Tensor) SubInPlace(o *Tensor) *Tensor {
+	mustMatch(t, o, "SubInPlace")
+	for i, v := range o.Data {
+		t.Data[i] -= v
+	}
+	return t
+}
+
+// MulInPlace computes t *= o elementwise (Hadamard product).
+func (t *Tensor) MulInPlace(o *Tensor) *Tensor {
+	mustMatch(t, o, "MulInPlace")
+	for i, v := range o.Data {
+		t.Data[i] *= v
+	}
+	return t
+}
+
+// ScaleInPlace computes t *= a.
+func (t *Tensor) ScaleInPlace(a float64) *Tensor {
+	for i := range t.Data {
+		t.Data[i] *= a
+	}
+	return t
+}
+
+// AxpyInPlace computes t += a*o elementwise.
+func (t *Tensor) AxpyInPlace(a float64, o *Tensor) *Tensor {
+	mustMatch(t, o, "AxpyInPlace")
+	for i, v := range o.Data {
+		t.Data[i] += a * v
+	}
+	return t
+}
+
+// Add returns t + o as a new tensor.
+func Add(t, o *Tensor) *Tensor {
+	mustMatch(t, o, "Add")
+	r := t.Clone()
+	return r.AddInPlace(o)
+}
+
+// Sub returns t - o as a new tensor.
+func Sub(t, o *Tensor) *Tensor {
+	mustMatch(t, o, "Sub")
+	r := t.Clone()
+	return r.SubInPlace(o)
+}
+
+// Mul returns the elementwise product t ⊙ o as a new tensor.
+func Mul(t, o *Tensor) *Tensor {
+	mustMatch(t, o, "Mul")
+	r := t.Clone()
+	return r.MulInPlace(o)
+}
+
+// Scale returns a*t as a new tensor.
+func Scale(t *Tensor, a float64) *Tensor {
+	r := t.Clone()
+	return r.ScaleInPlace(a)
+}
+
+// ClampInPlace clips every element into [lo, hi].
+func (t *Tensor) ClampInPlace(lo, hi float64) *Tensor {
+	for i, v := range t.Data {
+		if v < lo {
+			t.Data[i] = lo
+		} else if v > hi {
+			t.Data[i] = hi
+		}
+	}
+	return t
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.Data))
+}
+
+// Dot returns the inner product of t and o viewed as flat vectors.
+func Dot(t, o *Tensor) float64 {
+	mustMatch(t, o, "Dot")
+	s := 0.0
+	for i, v := range t.Data {
+		s += v * o.Data[i]
+	}
+	return s
+}
+
+// L2Norm returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) L2Norm() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// LInfNorm returns the maximum absolute element.
+func (t *Tensor) LInfNorm() float64 {
+	m := 0.0
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// MaxAbsIndex returns the index (flat) of the element with the largest
+// absolute value, and that value.
+func (t *Tensor) MaxAbsIndex() (int, float64) {
+	bi, bv := -1, -1.0
+	for i, v := range t.Data {
+		if a := math.Abs(v); a > bv {
+			bi, bv = i, a
+		}
+	}
+	return bi, bv
+}
+
+// ArgMaxRow returns, for a 2-D tensor, the argmax of row r.
+func (t *Tensor) ArgMaxRow(r int) int {
+	if len(t.shape) != 2 {
+		panic("tensor: ArgMaxRow requires a 2-D tensor")
+	}
+	cols := t.shape[1]
+	row := t.Data[r*cols : (r+1)*cols]
+	best, bv := 0, row[0]
+	for i, v := range row {
+		if v > bv {
+			best, bv = i, v
+		}
+	}
+	return best
+}
+
+// MatMul computes the matrix product A·B for 2-D tensors
+// A (m×k) and B (k×n), returning an m×n tensor. The inner loops are ordered
+// ikj for cache efficiency.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic("tensor: MatMul requires 2-D tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransA computes Aᵀ·B for A (k×m) and B (k×n), returning m×n.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic("tensor: MatMulTransA requires 2-D tensors")
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB computes A·Bᵀ for A (m×k) and B (n×k), returning m×n.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic("tensor: MatMulTransB requires 2-D tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// SignInPlace replaces every element with its sign (−1, 0 or +1).
+func (t *Tensor) SignInPlace() *Tensor {
+	for i, v := range t.Data {
+		switch {
+		case v > 0:
+			t.Data[i] = 1
+		case v < 0:
+			t.Data[i] = -1
+		default:
+			t.Data[i] = 0
+		}
+	}
+	return t
+}
+
+// ProjectL2Ball scales t so that its L2 norm does not exceed eps.
+func (t *Tensor) ProjectL2Ball(eps float64) *Tensor {
+	n := t.L2Norm()
+	if n > eps && n > 0 {
+		t.ScaleInPlace(eps / n)
+	}
+	return t
+}
+
+// ProjectLInfBall clips every element into [−eps, eps].
+func (t *Tensor) ProjectLInfBall(eps float64) *Tensor {
+	return t.ClampInPlace(-eps, eps)
+}
+
+func mustMatch(a, b *Tensor, op string) {
+	if len(a.Data) != len(b.Data) {
+		panic(fmt.Sprintf("tensor: %s size mismatch %v vs %v", op, a.shape, b.shape))
+	}
+}
+
+// String renders a compact description for debugging.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v", t.shape)
+}
