@@ -1,0 +1,35 @@
+# Build, verify and benchmark the FedProphet reproduction.
+#
+#   make ci      - everything the tier-1 gate runs: build, vet, test
+#   make bench   - repository benchmarks (paper tables/figures) with -benchmem
+#   make bench-parallel - client-parallelism wall-clock benchmark
+#   make cover   - tests with coverage summary
+
+GO ?= go
+
+.PHONY: all build vet test ci bench bench-parallel cover clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+ci: build vet test
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+bench-parallel:
+	$(GO) test -bench=ClientParallelism -benchmem -benchtime=1x ./pkg/fedprophet
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

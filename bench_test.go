@@ -11,6 +11,7 @@
 package fedprophet_test
 
 import (
+	"context"
 	"testing"
 
 	"fedprophet/internal/core"
@@ -123,7 +124,10 @@ func BenchmarkAblationQuantizedUploads(b *testing.B) {
 			opts := exp.FedProphetOptions(w, s)
 			opts.UploadBits = bits
 			env := exp.NewEnv(w, s, device.Balanced, 1)
-			res := core.New(opts).Run(env)
+			res, err := core.New(opts).Run(context.Background(), env)
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.Logf("uploadBits=%d clean=%.1f%% pgd=%.1f%% comm=%.1f KB",
 				bits, res.CleanAcc*100, res.PGDAcc*100, res.Extra["comm_up_bytes"]/1024)
 		}

@@ -1,77 +1,86 @@
 // Command fedprophet runs a single federated adversarial training experiment
-// with a chosen method and prints the paper's evaluation metrics.
+// with a chosen method and prints the paper's evaluation metrics. It is a
+// thin shell over the public pkg/fedprophet API: methods resolve through the
+// registry, per-round telemetry streams as it happens, Ctrl-C aborts
+// gracefully at the next round boundary (printing the partial result), and
+// -parallel trains a round's clients concurrently without changing the
+// seeded result.
 //
 // Usage:
 //
-//	fedprophet -method FedProphet -workload cifar -hetero balanced -scale quick
+//	fedprophet -method FedProphet -workload cifar -hetero balanced -scale quick -parallel 4
 //
-// Methods: jFAT, FedDF-AT, FedET-AT, HeteroFL-AT, FedDrop-AT, FedRolex-AT,
-// FedRBN, FedProphet.
+// Run with -list to print the registered methods.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
-	"fedprophet/internal/device"
-	"fedprophet/internal/exp"
-	"fedprophet/internal/fl"
+	"fedprophet/pkg/fedprophet"
 )
 
 func main() {
 	var (
-		method   = flag.String("method", "FedProphet", "training method")
+		method   = flag.String("method", "FedProphet", "training method (see -list)")
 		workload = flag.String("workload", "cifar", "workload: cifar or caltech")
 		hetero   = flag.String("hetero", "balanced", "balanced or unbalanced")
-		scale    = flag.String("scale", "quick", "quick or full")
+		scale    = flag.String("scale", "quick", "quick, trimmed or full")
 		seed     = flag.Int64("seed", 1, "random seed")
-		verbose  = flag.Bool("v", false, "print per-round telemetry")
+		parallel = flag.Int("parallel", 1, "concurrent client trainers per round")
+		rounds   = flag.Int("rounds", 0, "override baseline communication rounds (0 = scale default; FedProphet uses -rounds-per-module)")
+		rpm      = flag.Int("rounds-per-module", 0, "override FedProphet rounds per module stage (0 = scale default)")
+		verbose  = flag.Bool("v", false, "stream per-round telemetry")
+		list     = flag.Bool("list", false, "list registered methods and exit")
 	)
 	flag.Parse()
 
-	s := exp.QuickScale()
-	if *scale == "full" {
-		s = exp.FullScale()
-	}
-	var w exp.Workload
-	switch *workload {
-	case "cifar":
-		w = exp.CIFAR10S()
-	case "caltech":
-		w = exp.Caltech256S(*scale != "full")
-	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
-		os.Exit(2)
-	}
-	h := device.Balanced
-	if *hetero == "unbalanced" {
-		h = device.Unbalanced
+	if *list {
+		fmt.Println(strings.Join(fedprophet.Methods(), "\n"))
+		return
 	}
 
-	var chosen fl.Method
-	for _, m := range exp.Methods(w, s) {
-		if m.Name() == *method {
-			chosen = m
-			break
-		}
-	}
-	if chosen == nil {
-		fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
-		os.Exit(2)
-	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
-	env := exp.NewEnv(w, s, h, *seed)
-	fmt.Printf("method=%s workload=%s hetero=%s scale=%s clients=%d rounds≈%d\n",
-		chosen.Name(), w.Name, h, s.Name, env.Cfg.NumClients, env.Cfg.Rounds)
-	res := chosen.Run(env)
-
+	opts := []fedprophet.Option{
+		fedprophet.WithMethod(*method),
+		fedprophet.WithWorkload(*workload),
+		fedprophet.WithHeterogeneity(*hetero),
+		fedprophet.WithScale(*scale),
+		fedprophet.WithSeed(*seed),
+		fedprophet.WithClientParallelism(*parallel),
+	}
+	if *rounds > 0 {
+		opts = append(opts, fedprophet.WithRounds(*rounds))
+	}
+	if *rpm > 0 {
+		opts = append(opts, fedprophet.WithRoundsPerModule(*rpm))
+	}
 	if *verbose {
-		for _, r := range res.History {
+		opts = append(opts, fedprophet.WithRoundHook(func(m fedprophet.RoundMetrics) {
 			fmt.Printf("round %3d  module %d  loss %.4f  latency %.3fs (compute %.3fs, access %.3fs)\n",
-				r.Round, r.Module+1, r.Loss, r.Latency.Total(), r.Latency.Compute, r.Latency.DataAccess)
-		}
+				m.Round, m.Module+1, m.Loss, m.Latency.Total(), m.Latency.Compute, m.Latency.DataAccess)
+		}))
 	}
+
+	fmt.Printf("method=%s workload=%s hetero=%s scale=%s parallel=%d seed=%d\n",
+		*method, *workload, *hetero, *scale, *parallel, *seed)
+	res, err := fedprophet.Run(ctx, opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "run aborted: %v\n", err)
+		if res != nil && len(res.History) > 0 {
+			fmt.Fprintf(os.Stderr, "partial progress: %d rounds, simulated %.3fs\n",
+				len(res.History), res.Latency.Total())
+		}
+		os.Exit(1)
+	}
+
 	fmt.Printf("Clean Acc: %.2f%%\n", res.CleanAcc*100)
 	fmt.Printf("PGD Acc:   %.2f%%\n", res.PGDAcc*100)
 	fmt.Printf("AA Acc:    %.2f%%\n", res.AAAcc*100)

@@ -15,11 +15,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"fedprophet/internal/data"
@@ -46,13 +50,19 @@ func main() {
 		return nn.CNN3([]int{3, 16, 16}, 10, 4, rand.New(rand.NewSource(*seed)))
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	switch {
 	case *serve:
 		m := build()
 		srv := fldist.NewServer(nn.ExportParams(m), nn.ExportBNStats(m), *quorum)
 		log.Printf("parameter server on %s (quorum %d, model %s, %d params)",
 			*addr, *quorum, m.Label, nn.NumParams(m))
-		log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+		if err := srv.ListenAndServe(ctx, *addr); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("parameter server shut down after %d completed rounds", srv.RoundsCompleted())
 
 	case *connect != "":
 		cfg := fl.DefaultConfig()
@@ -75,7 +85,7 @@ func main() {
 		}
 		log.Printf("client %d: %d local samples, PGD-%d, %d rounds",
 			*clientID, subs[*clientID].Len(), *pgd, *rounds)
-		if err := c.RunRounds(*rounds, 0.04); err != nil {
+		if err := c.RunRounds(ctx, *rounds, 0.04); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("client %d: done", *clientID)

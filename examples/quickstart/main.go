@@ -1,75 +1,53 @@
-// Quickstart: a 30-second end-to-end FedProphet run on a tiny synthetic
-// federated workload.
+// Quickstart: a 30-second end-to-end FedProphet run through the public
+// pkg/fedprophet API.
 //
 //	go run ./examples/quickstart
 //
-// It partitions a VGG-style model into memory-bounded modules, trains them
-// with adversarial cascade learning across 10 simulated edge clients, and
-// reports clean/adversarial accuracy along with the memory saving over
-// end-to-end federated adversarial training.
+// It trains FedProphet's adversarial cascade on the quick-scale CIFAR10-S
+// surrogate across a simulated edge fleet, streaming each round's telemetry
+// as it completes, training 4 clients concurrently, and reporting
+// clean/adversarial accuracy with the memory saving over end-to-end
+// federated adversarial training. Press Ctrl-C to abort mid-run: the
+// partial history survives.
 package main
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
+	"os"
+	"os/signal"
 
-	"fedprophet/internal/core"
-	"fedprophet/internal/data"
-	"fedprophet/internal/device"
-	"fedprophet/internal/fl"
-	"fedprophet/internal/nn"
+	"fedprophet/pkg/fedprophet"
 )
 
 func main() {
-	const seed = 7
-
-	// 1. A synthetic image-classification task (CIFAR10-S surrogate,
-	//    6 classes of 3×16×16 images to keep this example fast).
-	dcfg := data.SyntheticConfig{
-		Name: "quickstart", Classes: 6, Shape: []int{3, 16, 16},
-		TrainPerClass: 50, TestPerClass: 10,
-		NoiseStd: 0.1, MixMax: 0.3, Seed: seed,
-	}
-	train, test := data.Generate(dcfg)
-	train, val := data.SplitHoldout(train, 0.1, seed)
-
-	// 2. Federated split: 10 clients, 80% of each client's data in 20% of
-	//    the classes (the paper's statistical heterogeneity).
-	cfg := fl.DefaultConfig()
-	cfg.NumClients = 10
-	cfg.ClientsPerRound = 5
-	cfg.LocalIters = 8
-	cfg.Batch = 8
-	cfg.LR = 0.04
-	cfg.TrainPGD = 3
-	cfg.EvalPGD = 5
-	cfg.EvalAASteps = 5
-	subsets := data.PartitionNonIID(train, data.DefaultPartition(cfg.NumClients, seed))
-
-	// 3. An edge-device fleet from the paper's CIFAR-10 pool (Table 5).
-	rng := rand.New(rand.NewSource(seed))
-	fleet := device.NewFleet(device.CIFARPool(), cfg.NumClients, device.Balanced, rng)
-
-	env := &fl.Env{
-		Train: train, Subsets: subsets, Val: val, Test: test,
-		Fleet: fleet, Cfg: cfg, Rng: rng,
-	}
-
-	// 4. FedProphet: partition the backbone at Rmin = 20% of the full
-	//    training memory and run adversarial cascade learning with APA+DMA.
-	opts := core.DefaultOptions(func(r *rand.Rand) *nn.Model {
-		return nn.VGG16S([]int{3, 16, 16}, 6, 4, r)
-	})
-	opts.RoundsPerModule = 8
-	opts.Patience = 5
-	opts.AlphaInit = 0.5
-	opts.FeaturePGDSteps = 3
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	fmt.Println("training FedProphet (adversarial cascade learning)...")
-	res := core.New(opts).Run(env)
+	res, err := fedprophet.Run(ctx,
+		fedprophet.WithMethod("FedProphet"),
+		fedprophet.WithWorkload("cifar"),
+		fedprophet.WithScale("quick"),
+		fedprophet.WithSeed(7),
+		fedprophet.WithRoundsPerModule(8),
+		fedprophet.WithClientParallelism(4),
+		fedprophet.WithRoundHook(func(m fedprophet.RoundMetrics) {
+			fmt.Printf("  round %2d  module %d  loss %.4f  latency %.3fs\n",
+				m.Round, m.Module+1, m.Loss, m.Latency.Total())
+		}),
+	)
+	if err != nil {
+		if res != nil {
+			fmt.Printf("\naborted: %v (%d rounds completed)\n", err, len(res.History))
+		} else {
+			fmt.Printf("\nfailed: %v\n", err)
+		}
+		return
+	}
 
 	fmt.Printf("\nClean accuracy:        %.1f%%\n", res.CleanAcc*100)
-	fmt.Printf("PGD-5 accuracy:        %.1f%%\n", res.PGDAcc*100)
+	fmt.Printf("PGD accuracy:          %.1f%%\n", res.PGDAcc*100)
 	fmt.Printf("AutoAttack accuracy:   %.1f%%\n", res.AAAcc*100)
 	fmt.Printf("Modules:               %.0f\n", res.Extra["modules"])
 	fmt.Printf("Memory reduction:      %.0f%% (%.0f KB -> %.0f KB per client)\n",

@@ -1,0 +1,3 @@
+module fedprophet
+
+go 1.24

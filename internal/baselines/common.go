@@ -21,8 +21,9 @@ import (
 
 // localTrain runs E local iterations of (adversarially) perturbed SGD on
 // `model` over the client subset and reports the mean training loss and the
-// number of iterations executed. pgdSteps = 0 selects standard training.
-func localTrain(model nn.Layer, sub *data.Subset, cfg fl.Config, lr float64, pgdSteps int, rng *rand.Rand) (float64, int) {
+// number of iterations executed. A zero-step attack config selects standard
+// training.
+func localTrain(model nn.Layer, sub *data.Subset, cfg fl.Config, lr float64, atk attack.Config, rng *rand.Rand) (float64, int) {
 	opt := nn.NewSGD(lr, cfg.Momentum, cfg.WeightDecay)
 	nn.ResetMomentum(model.Params())
 	batches := data.Batches(sub.Indices, cfg.Batch, rng)
@@ -37,9 +38,8 @@ func localTrain(model nn.Layer, sub *data.Subset, cfg fl.Config, lr float64, pgd
 				break
 			}
 			x, y := data.Batch(sub.Parent, b)
-			if pgdSteps > 0 {
-				x = attack.Perturb(attack.PGDConfig(cfg.Eps, pgdSteps), x,
-					attack.CEGradFn(model, y), rng)
+			if atk.Steps > 0 {
+				x = attack.Perturb(atk, x, attack.CEGradFn(model, y), rng)
 			}
 			out := model.Forward(x, true)
 			loss, g := nn.SoftmaxCrossEntropy(out, y)
@@ -73,5 +73,17 @@ func decayedLR(cfg fl.Config, round int) float64 {
 func finishResult(res *fl.Result, model nn.Layer, env *fl.Env) *fl.Result {
 	clean, pgd, aa := fl.Evaluate(model, env.Test, env.Cfg, env.Rng)
 	res.CleanAcc, res.PGDAcc, res.AAAcc = clean, pgd, aa
+	res.Model = model
 	return res
+}
+
+// buildReplicas constructs one structurally identical model replica per
+// worker slot, all seeded from the same modelSeed so that initial weights
+// (immediately overwritten by the global import) and architecture agree.
+func buildReplicas(build func(*rand.Rand) *nn.Model, workers int, modelSeed int64) []*nn.Model {
+	replicas := make([]*nn.Model, workers)
+	for s := range replicas {
+		replicas[s] = build(rand.New(rand.NewSource(modelSeed)))
+	}
+	return replicas
 }

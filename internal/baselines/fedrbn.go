@@ -1,8 +1,10 @@
 package baselines
 
 import (
+	"context"
 	"math/rand"
 
+	"fedprophet/internal/device"
 	"fedprophet/internal/fl"
 	"fedprophet/internal/memmodel"
 	"fedprophet/internal/nn"
@@ -28,12 +30,15 @@ type FedRBN struct {
 func (f *FedRBN) Name() string { return "FedRBN" }
 
 // Run executes the federated rounds.
-func (f *FedRBN) Run(env *fl.Env) *fl.Result {
+func (f *FedRBN) Run(ctx context.Context, env *fl.Env) (*fl.Result, error) {
 	rng := env.Rng
-	model := f.Build(rng)
+	modelSeed := rng.Int63()
+	replicas := buildReplicas(f.Build, env.ClientWorkers(), modelSeed)
+	model := replicas[0]
 	cost := memmodel.MemReqModel(model, env.Cfg.Batch)
 	cal := simlat.NewMemCalibration(env.Fleet.PoolMaxMemGB(), cost.TotalBytes)
 	res := &fl.Result{Method: f.Name(), Extra: map[string]float64{}}
+	atk := env.TrainAttackConfig(env.Cfg.TrainPGD)
 	atFactor := f.ATCostFactor
 	if atFactor <= 0 {
 		atFactor = 1.0
@@ -46,51 +51,75 @@ func (f *FedRBN) Run(env *fl.Env) *fl.Result {
 	var commBytes int64
 
 	for round := 0; round < env.Cfg.Rounds; round++ {
-		selected := fl.SampleClients(env.Cfg.NumClients, env.Cfg.ClientsPerRound, rng)
+		selected := env.Sample(rng)
+		seeds := fl.RoundSeeds(rng, len(selected))
+		snaps := make([]device.Snapshot, len(selected))
+		for i, k := range selected {
+			snaps[i] = env.Fleet.Snapshot(k, rng)
+		}
 		lr := decayedLR(env.Cfg, round)
-		var vecs [][]float64
-		var ws []float64
-		var robustBN [][]float64
-		var robustW []float64
+
+		type clientOut struct {
+			doAT  bool
+			loss  float64
+			vec   []float64
+			bn    []float64
+			lat   simlat.Latency
+			bytes int64
+		}
+		outs := make([]clientOut, len(selected))
+		err := fl.ForEachClient(ctx, env.ClientWorkers(), len(selected), seeds, func(slot, i int, crng *rand.Rand) {
+			budget := cal.Budget(snaps[i].AvailMemGB)
+			doAT := float64(budget) >= atFactor*float64(cost.TotalBytes)
+			catk := atk
+			if !doAT {
+				catk = env.TrainAttackConfig(0)
+			}
+			m := replicas[slot]
+			nn.ImportParams(m, global)
+			nn.ImportBNStats(m, globalBN)
+			loss, iters := localTrain(m, env.Subsets[selected[i]], env.Cfg, lr, catk, crng)
+			vec := nn.ExportParams(m)
+			bn := nn.ExportBNStats(m)
+			w := clientWork(cost.ForwardFLOPs, cost.TotalBytes, budget,
+				iters, env.Cfg.Batch, catk.Steps, true /* full model may swap */)
+			outs[i] = clientOut{doAT, loss, vec, bn, simlat.ClientLatency(w, snaps[i]),
+				int64(4 * (len(vec) + len(bn)))}
+		})
+		if err != nil {
+			nn.ImportParams(model, global)
+			nn.ImportBNStats(model, globalBN)
+			res.Model = model
+			return res, fl.PartialProgress(err, round)
+		}
+
+		var vecs, robustBN [][]float64
+		var ws, robustW []float64
 		var lats []simlat.Latency
 		roundLoss := 0.0
-
-		for _, k := range selected {
-			snap := env.Fleet.Snapshot(k, rng)
-			budget := cal.Budget(snap.AvailMemGB)
-			doAT := float64(budget) >= atFactor*float64(cost.TotalBytes)
-			steps := 0
-			if doAT {
-				steps = env.Cfg.TrainPGD
+		for i, o := range outs {
+			weight := float64(env.Subsets[selected[i]].Len())
+			vecs = append(vecs, o.vec)
+			ws = append(ws, weight)
+			if o.doAT {
+				robustBN = append(robustBN, o.bn)
+				robustW = append(robustW, weight)
 				atClients++
 			}
 			totalClients++
-
-			nn.ImportParams(model, global)
-			nn.ImportBNStats(model, globalBN)
-			loss, iters := localTrain(model, env.Subsets[k], env.Cfg, lr, steps, rng)
-			roundLoss += loss
-			vecs = append(vecs, nn.ExportParams(model))
-			ws = append(ws, float64(env.Subsets[k].Len()))
-			commBytes += int64(4 * (nn.NumParams(model) + len(globalBN)))
-			if doAT {
-				robustBN = append(robustBN, nn.ExportBNStats(model))
-				robustW = append(robustW, float64(env.Subsets[k].Len()))
-			}
-
-			w := clientWork(cost.ForwardFLOPs, cost.TotalBytes, budget,
-				iters, env.Cfg.Batch, steps, true /* full model may swap */)
-			lats = append(lats, simlat.ClientLatency(w, snap))
+			lats = append(lats, o.lat)
+			roundLoss += o.loss
+			commBytes += o.bytes
 		}
-		global = fl.WeightedAverage(vecs, ws)
+		global = env.Aggregate(vecs, ws)
 		// Robustness propagation: adversarial BN statistics come only from
 		// the AT clients; without any this round, keep the previous ones.
 		if len(robustBN) > 0 {
-			globalBN = fl.WeightedAverage(robustBN, robustW)
+			globalBN = env.Aggregate(robustBN, robustW)
 		}
 		roundLat := simlat.RoundLatency(lats)
 		res.Latency.Add(roundLat)
-		res.History = append(res.History, fl.RoundMetrics{
+		env.Record(res, fl.RoundMetrics{
 			Round: round, Loss: roundLoss / float64(len(selected)), Latency: roundLat,
 		})
 	}
@@ -99,5 +128,5 @@ func (f *FedRBN) Run(env *fl.Env) *fl.Result {
 	res.Extra["mem_full_bytes"] = float64(cost.TotalBytes)
 	res.Extra["at_client_frac"] = float64(atClients) / float64(totalClients)
 	res.Extra["comm_up_bytes"] = float64(commBytes)
-	return finishResult(res, model, env)
+	return finishResult(res, model, env), nil
 }

@@ -1,8 +1,10 @@
 package baselines
 
 import (
+	"context"
 	"math/rand"
 
+	"fedprophet/internal/device"
 	"fedprophet/internal/fl"
 	"fedprophet/internal/memmodel"
 	"fedprophet/internal/nn"
@@ -21,43 +23,70 @@ type JFAT struct {
 func (j *JFAT) Name() string { return "jFAT" }
 
 // Run executes the federated rounds.
-func (j *JFAT) Run(env *fl.Env) *fl.Result {
+func (j *JFAT) Run(ctx context.Context, env *fl.Env) (*fl.Result, error) {
 	rng := env.Rng
-	model := j.Build(rng)
+	modelSeed := rng.Int63()
+	replicas := buildReplicas(j.Build, env.ClientWorkers(), modelSeed)
+	model := replicas[0]
 	cost := memmodel.MemReqModel(model, env.Cfg.Batch)
 	cal := simlat.NewMemCalibration(env.Fleet.PoolMaxMemGB(), cost.TotalBytes)
 	res := &fl.Result{Method: j.Name(), Extra: map[string]float64{}}
+	atk := env.TrainAttackConfig(env.Cfg.TrainPGD)
 
 	global := nn.ExportParams(model)
 	globalBN := nn.ExportBNStats(model)
 	var commBytes int64
 	for round := 0; round < env.Cfg.Rounds; round++ {
-		selected := fl.SampleClients(env.Cfg.NumClients, env.Cfg.ClientsPerRound, rng)
+		selected := env.Sample(rng)
+		seeds := fl.RoundSeeds(rng, len(selected))
+		snaps := make([]device.Snapshot, len(selected))
+		for i, k := range selected {
+			snaps[i] = env.Fleet.Snapshot(k, rng)
+		}
 		lr := decayedLR(env.Cfg, round)
-		var vecs, bnVecs [][]float64
-		var lats []simlat.Latency
-		roundLoss := 0.0
 
-		for _, k := range selected {
+		type clientOut struct {
+			loss  float64
+			vec   []float64
+			bn    []float64
+			lat   simlat.Latency
+			bytes int64
+		}
+		outs := make([]clientOut, len(selected))
+		err := fl.ForEachClient(ctx, env.ClientWorkers(), len(selected), seeds, func(slot, i int, crng *rand.Rand) {
+			m := replicas[slot]
+			nn.ImportParams(m, global)
+			nn.ImportBNStats(m, globalBN)
+			loss, iters := localTrain(m, env.Subsets[selected[i]], env.Cfg, lr, atk, crng)
+			vec := nn.ExportParams(m)
+			bn := nn.ExportBNStats(m)
+			w := clientWork(cost.ForwardFLOPs, cost.TotalBytes, cal.Budget(snaps[i].AvailMemGB),
+				iters, env.Cfg.Batch, atk.Steps, true /* swap when constrained */)
+			outs[i] = clientOut{loss, vec, bn, simlat.ClientLatency(w, snaps[i]), int64(4 * (len(vec) + len(bn)))}
+		})
+		if err != nil {
 			nn.ImportParams(model, global)
 			nn.ImportBNStats(model, globalBN)
-			loss, iters := localTrain(model, env.Subsets[k], env.Cfg, lr, env.Cfg.TrainPGD, rng)
-			roundLoss += loss
-			vecs = append(vecs, nn.ExportParams(model))
-			bnVecs = append(bnVecs, nn.ExportBNStats(model))
-			commBytes += int64(4 * (len(vecs[len(vecs)-1]) + len(bnVecs[len(bnVecs)-1])))
+			res.Model = model
+			return res, fl.PartialProgress(err, round)
+		}
 
-			snap := env.Fleet.Snapshot(k, rng)
-			w := clientWork(cost.ForwardFLOPs, cost.TotalBytes, cal.Budget(snap.AvailMemGB),
-				iters, env.Cfg.Batch, env.Cfg.TrainPGD, true /* swap when constrained */)
-			lats = append(lats, simlat.ClientLatency(w, snap))
+		vecs := make([][]float64, len(outs))
+		bnVecs := make([][]float64, len(outs))
+		var lats []simlat.Latency
+		roundLoss := 0.0
+		for i, o := range outs {
+			vecs[i], bnVecs[i] = o.vec, o.bn
+			lats = append(lats, o.lat)
+			roundLoss += o.loss
+			commBytes += o.bytes
 		}
 		weights := fl.SubsetWeights(env.Subsets, selected)
-		global = fl.WeightedAverage(vecs, weights)
-		globalBN = fl.WeightedAverage(bnVecs, weights)
+		global = env.Aggregate(vecs, weights)
+		globalBN = env.Aggregate(bnVecs, weights)
 		roundLat := simlat.RoundLatency(lats)
 		res.Latency.Add(roundLat)
-		res.History = append(res.History, fl.RoundMetrics{
+		env.Record(res, fl.RoundMetrics{
 			Round: round, Loss: roundLoss / float64(len(selected)), Latency: roundLat,
 		})
 	}
@@ -65,5 +94,5 @@ func (j *JFAT) Run(env *fl.Env) *fl.Result {
 	nn.ImportBNStats(model, globalBN)
 	res.Extra["mem_full_bytes"] = float64(cost.TotalBytes)
 	res.Extra["comm_up_bytes"] = float64(commBytes)
-	return finishResult(res, model, env)
+	return finishResult(res, model, env), nil
 }

@@ -1,10 +1,12 @@
 package baselines
 
 import (
+	"context"
 	"math/rand"
 
 	"fedprophet/internal/attack"
 	"fedprophet/internal/data"
+	"fedprophet/internal/device"
 	"fedprophet/internal/fl"
 	"fedprophet/internal/memmodel"
 	"fedprophet/internal/nn"
@@ -51,7 +53,7 @@ func (k *KDTraining) Name() string {
 }
 
 // Run executes the federated rounds.
-func (k *KDTraining) Run(env *fl.Env) *fl.Result {
+func (k *KDTraining) Run(ctx context.Context, env *fl.Env) (*fl.Result, error) {
 	rng := env.Rng
 	models := make([]*nn.Model, len(k.Group))
 	costs := make([]memmodel.Costs, len(k.Group))
@@ -59,9 +61,20 @@ func (k *KDTraining) Run(env *fl.Env) *fl.Result {
 		models[i] = build(rng)
 		costs[i] = memmodel.MemReqModel(models[i], env.Cfg.Batch)
 	}
+	// Per worker slot, one replica of every family member, all built from
+	// the same seed so the families agree structurally across slots.
+	replicaSeed := rng.Int63()
+	replicas := make([][]*nn.Model, env.ClientWorkers())
+	for s := range replicas {
+		replicas[s] = make([]*nn.Model, len(k.Group))
+		for i, build := range k.Group {
+			replicas[s][i] = build(rand.New(rand.NewSource(replicaSeed)))
+		}
+	}
 	big := models[len(models)-1]
 	cal := simlat.NewMemCalibration(env.Fleet.PoolMaxMemGB(), costs[len(costs)-1].TotalBytes)
 	res := &fl.Result{Method: k.Name(), Extra: map[string]float64{}}
+	atk := env.TrainAttackConfig(env.Cfg.TrainPGD)
 
 	globals := make([][]float64, len(models))
 	globalsBN := make([][]float64, len(models))
@@ -76,43 +89,67 @@ func (k *KDTraining) Run(env *fl.Env) *fl.Result {
 	var commBytes int64
 
 	for round := 0; round < env.Cfg.Rounds; round++ {
-		selected := fl.SampleClients(env.Cfg.NumClients, env.Cfg.ClientsPerRound, rng)
+		selected := env.Sample(rng)
+		seeds := fl.RoundSeeds(rng, len(selected))
+		snaps := make([]device.Snapshot, len(selected))
+		for i, c := range selected {
+			snaps[i] = env.Fleet.Snapshot(c, rng)
+		}
 		lr := decayedLR(env.Cfg, round)
+
+		type clientOut struct {
+			pick  int
+			loss  float64
+			vec   []float64
+			bn    []float64
+			lat   simlat.Latency
+			bytes int64
+		}
+		outs := make([]clientOut, len(selected))
+		err := fl.ForEachClient(ctx, env.ClientWorkers(), len(selected), seeds, func(slot, i int, crng *rand.Rand) {
+			budget := cal.Budget(snaps[i].AvailMemGB)
+			// Largest family member that fits.
+			pick := 0
+			for j := range models {
+				if costs[j].TotalBytes <= budget {
+					pick = j
+				}
+			}
+			m := replicas[slot][pick]
+			nn.ImportParams(m, globals[pick])
+			nn.ImportBNStats(m, globalsBN[pick])
+			loss, iters := localTrain(m, env.Subsets[selected[i]], env.Cfg, lr, atk, crng)
+			vec := nn.ExportParams(m)
+			bn := nn.ExportBNStats(m)
+			w := clientWork(costs[pick].ForwardFLOPs, costs[pick].TotalBytes, budget,
+				iters, env.Cfg.Batch, atk.Steps, false)
+			outs[i] = clientOut{pick, loss, vec, bn, simlat.ClientLatency(w, snaps[i]),
+				int64(4 * (len(vec) + len(bn)))}
+		})
+		if err != nil {
+			res.Model = big
+			return res, fl.PartialProgress(err, round)
+		}
+
 		vecs := make([][][]float64, len(models))
 		bnVecs := make([][][]float64, len(models))
 		weights := make([][]float64, len(models))
 		var lats []simlat.Latency
 		roundLoss := 0.0
-
-		for _, c := range selected {
-			snap := env.Fleet.Snapshot(c, rng)
-			budget := cal.Budget(snap.AvailMemGB)
-			// Largest family member that fits.
-			pick := 0
-			for i := range models {
-				if costs[i].TotalBytes <= budget {
-					pick = i
-				}
-			}
-			nn.ImportParams(models[pick], globals[pick])
-			nn.ImportBNStats(models[pick], globalsBN[pick])
-			loss, iters := localTrain(models[pick], env.Subsets[c], env.Cfg, lr, env.Cfg.TrainPGD, rng)
-			roundLoss += loss
-			vecs[pick] = append(vecs[pick], nn.ExportParams(models[pick]))
-			bnVecs[pick] = append(bnVecs[pick], nn.ExportBNStats(models[pick]))
-			commBytes += int64(4 * (nn.NumParams(models[pick]) + len(globalsBN[pick])))
-			weights[pick] = append(weights[pick], float64(env.Subsets[c].Len()))
-
-			w := clientWork(costs[pick].ForwardFLOPs, costs[pick].TotalBytes, budget,
-				iters, env.Cfg.Batch, env.Cfg.TrainPGD, false)
-			lats = append(lats, simlat.ClientLatency(w, snap))
+		for i, o := range outs {
+			vecs[o.pick] = append(vecs[o.pick], o.vec)
+			bnVecs[o.pick] = append(bnVecs[o.pick], o.bn)
+			weights[o.pick] = append(weights[o.pick], float64(env.Subsets[selected[i]].Len()))
+			lats = append(lats, o.lat)
+			roundLoss += o.loss
+			commBytes += o.bytes
 		}
 
 		// FedAvg within each architecture family.
 		for i := range models {
 			if len(vecs[i]) > 0 {
-				globals[i] = fl.WeightedAverage(vecs[i], weights[i])
-				globalsBN[i] = fl.WeightedAverage(bnVecs[i], weights[i])
+				globals[i] = env.Aggregate(vecs[i], weights[i])
+				globalsBN[i] = env.Aggregate(bnVecs[i], weights[i])
 			}
 			nn.ImportParams(models[i], globals[i])
 			nn.ImportBNStats(models[i], globalsBN[i])
@@ -125,7 +162,7 @@ func (k *KDTraining) Run(env *fl.Env) *fl.Result {
 
 		roundLat := simlat.RoundLatency(lats)
 		res.Latency.Add(roundLat)
-		res.History = append(res.History, fl.RoundMetrics{
+		env.Record(res, fl.RoundMetrics{
 			Round: round, Loss: roundLoss / float64(len(selected)), Latency: roundLat,
 		})
 	}
@@ -133,7 +170,7 @@ func (k *KDTraining) Run(env *fl.Env) *fl.Result {
 	nn.ImportBNStats(big, globalsBN[len(globalsBN)-1])
 	res.Extra["mem_full_bytes"] = float64(costs[len(costs)-1].TotalBytes)
 	res.Extra["comm_up_bytes"] = float64(commBytes)
-	return finishResult(res, big, env)
+	return finishResult(res, big, env), nil
 }
 
 // distill runs server-side knowledge distillation of the family ensemble

@@ -1,14 +1,26 @@
 package baselines
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
+	"fedprophet/internal/attack"
 	"fedprophet/internal/data"
 	"fedprophet/internal/device"
 	"fedprophet/internal/fl"
 	"fedprophet/internal/nn"
 )
+
+// mustRun executes a method to completion, failing the test on error.
+func mustRun(t *testing.T, m fl.Method, env *fl.Env) *fl.Result {
+	t.Helper()
+	res, err := m.Run(context.Background(), env)
+	if err != nil {
+		t.Fatalf("%s: %v", m.Name(), err)
+	}
+	return res
+}
 
 // microEnv builds a tiny but complete federated environment for method
 // integration tests.
@@ -79,7 +91,7 @@ func TestJFATRuns(t *testing.T) {
 		t.Skip("integration test")
 	}
 	env := microEnv(t, 11)
-	res := (&JFAT{Build: microBuild}).Run(env)
+	res := mustRun(t, &JFAT{Build: microBuild}, env)
 	checkResult(t, res, env.Cfg.Rounds)
 	if res.CleanAcc <= 0.3 {
 		t.Fatalf("jFAT failed to learn anything: %v", res.CleanAcc)
@@ -93,7 +105,7 @@ func TestJFATIncursDataAccessWhenConstrained(t *testing.T) {
 	env := microEnv(t, 12)
 	// The memory calibration gives the weakest devices ~25% of the full
 	// model requirement, so jFAT must swap on them whatever the model size.
-	res := (&JFAT{Build: microBuild}).Run(env)
+	res := mustRun(t, &JFAT{Build: microBuild}, env)
 	if res.Latency.DataAccess <= 0 {
 		t.Fatal("jFAT on a large model must incur swap data-access latency")
 	}
@@ -105,7 +117,7 @@ func TestPartialTrainingVariantsRun(t *testing.T) {
 	}
 	for _, v := range []PartialVariant{HeteroFL, FedDrop, FedRolex} {
 		env := microEnv(t, 13+int64(v))
-		res := (&PartialTraining{Build: microBuild, Variant: v}).Run(env)
+		res := mustRun(t, &PartialTraining{Build: microBuild, Variant: v}, env)
 		checkResult(t, res, env.Cfg.Rounds)
 		if res.Latency.DataAccess != 0 {
 			t.Fatalf("%s must avoid swapping entirely", res.Method)
@@ -128,7 +140,7 @@ func TestKDTrainingRuns(t *testing.T) {
 	group := []func(*rand.Rand) *nn.Model{microBuildTiny, microBuild}
 	for _, v := range []KDVariant{FedDF, FedET} {
 		env := microEnv(t, 17+int64(v))
-		res := (&KDTraining{Group: group, Variant: v, DistillIters: 4}).Run(env)
+		res := mustRun(t, &KDTraining{Group: group, Variant: v, DistillIters: 4}, env)
 		checkResult(t, res, env.Cfg.Rounds)
 	}
 }
@@ -145,7 +157,7 @@ func TestFedRBNRuns(t *testing.T) {
 		t.Skip("integration test")
 	}
 	env := microEnv(t, 19)
-	res := (&FedRBN{Build: microBuild, ATCostFactor: 1}).Run(env)
+	res := mustRun(t, &FedRBN{Build: microBuild, ATCostFactor: 1}, env)
 	checkResult(t, res, env.Cfg.Rounds)
 	frac, ok := res.Extra["at_client_frac"]
 	if !ok || frac < 0 || frac > 1 {
@@ -159,8 +171,8 @@ func TestLocalTrainReducesLoss(t *testing.T) {
 	m := microBuild(rng)
 	cfg := env.Cfg
 	cfg.LocalIters = 30
-	first, _ := localTrain(m, env.Subsets[0], cfg, 0.05, 0, rng)
-	last, _ := localTrain(m, env.Subsets[0], cfg, 0.05, 0, rng)
+	first, _ := localTrain(m, env.Subsets[0], cfg, 0.05, attack.Config{}, rng)
+	last, _ := localTrain(m, env.Subsets[0], cfg, 0.05, attack.Config{}, rng)
 	if last >= first {
 		t.Fatalf("local training loss did not decrease: %g -> %g", first, last)
 	}

@@ -1,8 +1,10 @@
 package baselines
 
 import (
+	"context"
 	"math/rand"
 
+	"fedprophet/internal/device"
 	"fedprophet/internal/fl"
 	"fedprophet/internal/memmodel"
 	"fedprophet/internal/nn"
@@ -77,24 +79,36 @@ func lastLinear(m *nn.Model) *nn.Linear {
 }
 
 // Run executes the federated rounds.
-func (p *PartialTraining) Run(env *fl.Env) *fl.Result {
+func (p *PartialTraining) Run(ctx context.Context, env *fl.Env) (*fl.Result, error) {
 	rng := env.Rng
 	global := p.Build(rng)
 	fullCost := memmodel.MemReqModel(global, env.Cfg.Batch)
 	cal := simlat.NewMemCalibration(env.Fleet.PoolMaxMemGB(), fullCost.TotalBytes)
 	res := &fl.Result{Method: p.Name(), Extra: map[string]float64{}}
+	atk := env.TrainAttackConfig(env.Cfg.TrainPGD)
 	var commBytes int64
 
 	for round := 0; round < env.Cfg.Rounds; round++ {
-		selected := fl.SampleClients(env.Cfg.NumClients, env.Cfg.ClientsPerRound, rng)
+		selected := env.Sample(rng)
+		seeds := fl.RoundSeeds(rng, len(selected))
+		snaps := make([]device.Snapshot, len(selected))
+		for i, k := range selected {
+			snaps[i] = env.Fleet.Snapshot(k, rng)
+		}
 		lr := decayedLR(env.Cfg, round)
-		acc := newAccumulator()
-		var lats []simlat.Latency
-		roundLoss := 0.0
 
-		for _, k := range selected {
-			snap := env.Fleet.Snapshot(k, rng)
-			budget := cal.Budget(snap.AvailMemGB)
+		// Sub-model extraction only reads the global tensors, so clients
+		// run concurrently; their updates are scattered back sequentially
+		// in sampling order after the pool drains.
+		type clientOut struct {
+			loss  float64
+			sub   *subModel
+			lat   simlat.Latency
+			bytes int64
+		}
+		outs := make([]clientOut, len(selected))
+		err := fl.ForEachClient(ctx, env.ClientWorkers(), len(selected), seeds, func(slot, i int, crng *rand.Rand) {
+			budget := cal.Budget(snaps[i].AvailMemGB)
 			frac := float64(budget) / float64(fullCost.TotalBytes)
 			if frac > 1 {
 				frac = 1
@@ -102,25 +116,36 @@ func (p *PartialTraining) Run(env *fl.Env) *fl.Result {
 			if frac < 0.1 {
 				frac = 0.1
 			}
-			sub := extractSub(global, frac, p.picker(round, rng), rng)
-			loss, iters := localTrain(sub.model, env.Subsets[k], env.Cfg, lr, env.Cfg.TrainPGD, rng)
-			roundLoss += loss
-			sub.scatter(acc, float64(env.Subsets[k].Len()))
-			commBytes += int64(4 * (nn.NumParams(sub.model) + len(nn.ExportBNStats(sub.model))))
-
+			sub := extractSub(global, frac, p.picker(round, crng), crng)
+			loss, iters := localTrain(sub.model, env.Subsets[selected[i]], env.Cfg, lr, atk, crng)
 			subCost := memmodel.MemReqModel(sub.model, env.Cfg.Batch)
 			w := clientWork(subCost.ForwardFLOPs, subCost.TotalBytes, budget,
-				iters, env.Cfg.Batch, env.Cfg.TrainPGD, false /* sub-model avoids swapping */)
-			lats = append(lats, simlat.ClientLatency(w, snap))
+				iters, env.Cfg.Batch, atk.Steps, false /* sub-model avoids swapping */)
+			outs[i] = clientOut{loss, sub, simlat.ClientLatency(w, snaps[i]),
+				int64(4 * (nn.NumParams(sub.model) + len(nn.ExportBNStats(sub.model))))}
+		})
+		if err != nil {
+			res.Model = global
+			return res, fl.PartialProgress(err, round)
+		}
+
+		acc := newAccumulator()
+		var lats []simlat.Latency
+		roundLoss := 0.0
+		for i, o := range outs {
+			o.sub.scatter(acc, float64(env.Subsets[selected[i]].Len()))
+			lats = append(lats, o.lat)
+			roundLoss += o.loss
+			commBytes += o.bytes
 		}
 		acc.apply()
 		roundLat := simlat.RoundLatency(lats)
 		res.Latency.Add(roundLat)
-		res.History = append(res.History, fl.RoundMetrics{
+		env.Record(res, fl.RoundMetrics{
 			Round: round, Loss: roundLoss / float64(len(selected)), Latency: roundLat,
 		})
 	}
 	res.Extra["mem_full_bytes"] = float64(fullCost.TotalBytes)
 	res.Extra["comm_up_bytes"] = float64(commBytes)
-	return finishResult(res, global, env)
+	return finishResult(res, global, env), nil
 }

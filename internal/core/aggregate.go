@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fedprophet/internal/fl"
 	"fedprophet/internal/nn"
 )
 
@@ -38,11 +37,12 @@ type moduleUpdate struct {
 }
 
 // partialAverage aggregates per-module updates (Eq. 16) and per-module aux
-// updates (Eq. 17). updates[n] collects the backbone updates of module n
-// from every client k with M_k ≥ n; auxUpdates[n] collects aux updates from
-// clients with M_k = n. Modules with no updates keep their previous global
-// value (passed in prev).
-func partialAverage(updates map[int][]moduleUpdate, prev map[int][]float64) map[int][]float64 {
+// updates (Eq. 17) with the given aggregator (FedAvg weighted averaging in
+// the paper; pluggable through fl.Env). updates[n] collects the backbone
+// updates of module n from every client k with M_k ≥ n; auxUpdates[n]
+// collects aux updates from clients with M_k = n. Modules with no updates
+// keep their previous global value (passed in prev).
+func partialAverage(updates map[int][]moduleUpdate, prev map[int][]float64, agg func([][]float64, []float64) []float64) map[int][]float64 {
 	out := make(map[int][]float64, len(prev))
 	for n, v := range prev {
 		ups := updates[n]
@@ -56,7 +56,7 @@ func partialAverage(updates map[int][]moduleUpdate, prev map[int][]float64) map[
 			vecs[i] = u.vec
 			ws[i] = u.weight
 		}
-		out[n] = fl.WeightedAverage(vecs, ws)
+		out[n] = agg(vecs, ws)
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -68,6 +69,16 @@ func TestAPAAlphaNeverNegative(t *testing.T) {
 	if s.Alpha < 0 {
 		t.Fatalf("Alpha went negative: %v", s.Alpha)
 	}
+}
+
+// mustRun executes a method to completion, failing the test on error.
+func mustRun(t *testing.T, m fl.Method, env *fl.Env) *fl.Result {
+	t.Helper()
+	res, err := m.Run(context.Background(), env)
+	if err != nil {
+		t.Fatalf("%s: %v", m.Name(), err)
+	}
+	return res
 }
 
 func buildTestCascade(t *testing.T) *cascade.Cascade {
@@ -143,7 +154,7 @@ func TestPartialAverageBasic(t *testing.T) {
 			{vec: []float64{3, 4}, weight: 1},
 		},
 	}
-	out := partialAverage(mergeFixed(ups, prev), prev)
+	out := partialAverage(mergeFixed(ups, prev), prev, fl.WeightedAverage)
 	if out[0][0] != 2 || out[0][1] != 3 {
 		t.Fatalf("module 0 average wrong: %v", out[0])
 	}
@@ -160,7 +171,7 @@ func TestPartialAverageWeighted(t *testing.T) {
 			{vec: []float64{4}, weight: 1},
 		},
 	}
-	out := partialAverage(ups, prev)
+	out := partialAverage(ups, prev, fl.WeightedAverage)
 	if out[0][0] != 1 {
 		t.Fatalf("weighted average wrong: %v", out[0])
 	}
@@ -227,7 +238,7 @@ func TestFedProphetEndToEnd(t *testing.T) {
 	opts.ValSize = 24
 	opts.ValPGD = 3
 
-	res := New(opts).Run(env)
+	res := mustRun(t, New(opts), env)
 	if res.CleanAcc <= 1.0/4+0.1 {
 		t.Fatalf("FedProphet failed to learn: clean acc %v", res.CleanAcc)
 	}
@@ -266,8 +277,8 @@ func TestFedProphetDeterministicSameSeed(t *testing.T) {
 	opts.ValSize = 16
 	opts.ValPGD = 2
 
-	r1 := New(opts).Run(microEnv(t, 9))
-	r2 := New(opts).Run(microEnv(t, 9))
+	r1 := mustRun(t, New(opts), microEnv(t, 9))
+	r2 := mustRun(t, New(opts), microEnv(t, 9))
 	if r1.CleanAcc != r2.CleanAcc || r1.PGDAcc != r2.PGDAcc {
 		t.Fatalf("same seed must reproduce results: %v/%v vs %v/%v",
 			r1.CleanAcc, r1.PGDAcc, r2.CleanAcc, r2.PGDAcc)

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
 	"fedprophet/internal/attack"
 	"fedprophet/internal/cascade"
 	"fedprophet/internal/data"
+	"fedprophet/internal/device"
 	"fedprophet/internal/fl"
 	"fedprophet/internal/memmodel"
 	"fedprophet/internal/nn"
@@ -77,13 +79,28 @@ func New(opts Options) *FedProphet { return &FedProphet{Opts: opts} }
 func (f *FedProphet) Name() string { return "FedProphet" }
 
 // Run executes Algorithm 2 and evaluates the final backbone.
-func (f *FedProphet) Run(env *fl.Env) *fl.Result {
+func (f *FedProphet) Run(ctx context.Context, env *fl.Env) (*fl.Result, error) {
 	o := f.Opts
 	rng := env.Rng
-	model := o.Build(rng)
-	fullCost := memmodel.MemReqModel(model, env.Cfg.Batch)
-	rmin := int64(o.RminFrac * float64(fullCost.TotalBytes))
-	casc := cascade.Partition(model, rmin, env.Cfg.Batch, rng)
+	// Every worker slot owns a structurally identical (model, cascade)
+	// replica built from the same seeds; clients load the global module
+	// stores into their slot's replica, so a round's clients train
+	// concurrently without sharing mutable state.
+	modelSeed := rng.Int63()
+	partSeed := rng.Int63()
+	build := func() (*nn.Model, *cascade.Cascade, memmodel.Costs) {
+		m := o.Build(rand.New(rand.NewSource(modelSeed)))
+		cost := memmodel.MemReqModel(m, env.Cfg.Batch)
+		rmin := int64(o.RminFrac * float64(cost.TotalBytes))
+		return m, cascade.Partition(m, rmin, env.Cfg.Batch, rand.New(rand.NewSource(partSeed))), cost
+	}
+	workers := env.ClientWorkers()
+	cascs := make([]*cascade.Cascade, workers)
+	var fullCost memmodel.Costs
+	for s := range cascs {
+		_, cascs[s], fullCost = build()
+	}
+	casc := cascs[0] // server-side view: validation, perturbation collection, final eval
 	cal := simlat.NewMemCalibration(env.Fleet.PoolMaxMemGB(), fullCost.TotalBytes)
 
 	res := &fl.Result{Method: f.Name(), Extra: map[string]float64{}}
@@ -100,8 +117,8 @@ func (f *FedProphet) Run(env *fl.Env) *fl.Result {
 			globalAux[i] = exportParams(m.Aux.Params())
 		}
 	}
-	loadGlobals := func() {
-		for i, m := range casc.Modules {
+	loadGlobalsInto := func(c *cascade.Cascade) {
+		for i, m := range c.Modules {
 			importParams(m.BackboneParams(), globalBackbone[i])
 			m.SetBNStats(globalBN[i])
 			if m.Aux != nil {
@@ -115,55 +132,89 @@ func (f *FedProphet) Run(env *fl.Env) *fl.Result {
 	prevRatio := 0.0 // C*/A* of the previous stage
 	var commBytes int64
 
+	finishPartial := func(err error) (*fl.Result, error) {
+		loadGlobalsInto(casc)
+		res.Model = casc.Full()
+		res.Extra["rounds"] = float64(globalRound)
+		return res, fl.PartialProgress(err, globalRound)
+	}
+
 	for mIdx := range casc.Modules {
 		prefixFwd := casc.PrefixForwardFLOPs(mIdx)
 		apa := NewAPAState(o.AlphaInit, o.DeltaAlpha, o.GammaThresh, basePert, prevRatio, o.UseAPA && mIdx > 0)
 		bestAdv, bestClean, sincImprove := -1.0, 0.0, 0
 
 		for local := 0; local < o.RoundsPerModule; local++ {
-			epsNow := env.Cfg.Eps
+			if err := ctx.Err(); err != nil {
+				return finishPartial(err)
+			}
+			// Module 0 trains against the pluggable input-space attack
+			// (PGD by default; fl.NoAttack or TrainPGD = 0 trains cleanly).
+			// Later modules use the feature-space PGD intrinsic to cascade
+			// learning, disabled alongside input adversarial training.
 			var atkCfg attack.Config
+			var epsNow float64
 			if mIdx == 0 {
-				atkCfg = attack.PGDConfig(env.Cfg.Eps, env.Cfg.TrainPGD)
+				atkCfg = env.TrainAttackConfig(env.Cfg.TrainPGD)
+				epsNow = atkCfg.Eps
 			} else {
 				epsNow = apa.Eps()
-				atkCfg = attack.FeaturePGDConfig(epsNow, o.FeaturePGDSteps)
+				featSteps := o.FeaturePGDSteps
+				if env.Cfg.TrainPGD <= 0 {
+					featSteps = 0
+				}
+				atkCfg = attack.FeaturePGDConfig(epsNow, featSteps)
 			}
 
-			selected := fl.SampleClients(env.Cfg.NumClients, env.Cfg.ClientsPerRound, rng)
+			selected := env.Sample(rng)
+			seeds := fl.RoundSeeds(rng, len(selected))
 			snaps := make([]struct {
 				budget int64
 				perf   float64
+				snap   device.Snapshot
 			}, len(selected))
 			perfMin := math.Inf(1)
 			for i, k := range selected {
 				s := env.Fleet.Snapshot(k, rng)
 				snaps[i].budget = cal.Budget(s.AvailMemGB)
 				snaps[i].perf = s.AvailPerf
+				snaps[i].snap = s
 				if s.AvailPerf < perfMin {
 					perfMin = s.AvailPerf
 				}
 			}
 
 			lr := env.Cfg.LR * math.Pow(env.Cfg.LRDecay, float64(globalRound))
-			updates := map[int][]moduleUpdate{}
-			auxUpdates := map[int][]moduleUpdate{}
-			bnUpdates := map[int][]moduleUpdate{}
-			var lats []simlat.Latency
-			roundLoss, lossN := 0.0, 0
 
-			for i, k := range selected {
-				loadGlobals()
-				to := AssignModules(casc, mIdx, snaps[i].budget, snaps[i].perf, perfMin, o.UseDMA)
+			type modVec struct {
+				j     int
+				vec   []float64
+				bytes int64
+			}
+			type clientOut struct {
+				loss     float64
+				lossN    int
+				weight   float64
+				backbone []modVec
+				bn       []modVec
+				aux      *modVec
+				lat      simlat.Latency
+			}
+			outs := make([]clientOut, len(selected))
+			err := fl.ForEachClient(ctx, workers, len(selected), seeds, func(slot, i int, crng *rand.Rand) {
+				c := cascs[slot]
+				loadGlobalsInto(c)
+				to := AssignModules(c, mIdx, snaps[i].budget, snaps[i].perf, perfMin, o.UseDMA)
 				opt := nn.NewSGD(lr, env.Cfg.Momentum, env.Cfg.WeightDecay)
 				var params []*nn.Param
 				for j := mIdx; j <= to; j++ {
-					params = append(params, casc.Modules[j].Params()...)
+					params = append(params, c.Modules[j].Params()...)
 				}
 				nn.ResetMomentum(params)
 
-				sub := env.Subsets[k]
-				batches := data.Batches(sub.Indices, env.Cfg.Batch, rng)
+				out := &outs[i]
+				sub := env.Subsets[selected[i]]
+				batches := data.Batches(sub.Indices, env.Cfg.Batch, crng)
 				iters := 0
 				for iters < env.Cfg.LocalIters && len(batches) > 0 {
 					for _, b := range batches {
@@ -171,48 +222,71 @@ func (f *FedProphet) Run(env *fl.Env) *fl.Result {
 							break
 						}
 						x, y := data.Batch(sub.Parent, b)
-						z := casc.ForwardPrefix(x, mIdx)
-						loss := casc.AdversarialStep(z, y, mIdx, to, atkCfg, o.Mu, opt, rng)
-						roundLoss += loss
-						lossN++
+						z := c.ForwardPrefix(x, mIdx)
+						out.loss += c.AdversarialStep(z, y, mIdx, to, atkCfg, o.Mu, opt, crng)
+						out.lossN++
 						iters++
 					}
 				}
 
-				weight := float64(sub.Len())
+				out.weight = float64(sub.Len())
 				for j := mIdx; j <= to; j++ {
-					vec, bytes := f.encodeUpload(exportParams(casc.Modules[j].BackboneParams()))
-					commBytes += bytes
-					updates[j] = append(updates[j], moduleUpdate{vec: vec, weight: weight})
-					bn := casc.Modules[j].BNStats()
-					commBytes += int64(4 * len(bn))
-					bnUpdates[j] = append(bnUpdates[j], moduleUpdate{vec: bn, weight: weight})
+					vec, bytes := f.encodeUpload(exportParams(c.Modules[j].BackboneParams()))
+					out.backbone = append(out.backbone, modVec{j, vec, bytes})
+					bn := c.Modules[j].BNStats()
+					out.bn = append(out.bn, modVec{j, bn, int64(4 * len(bn))})
 				}
-				if aux := casc.Modules[to].Aux; aux != nil {
+				if aux := c.Modules[to].Aux; aux != nil {
 					vec, bytes := f.encodeUpload(exportParams(aux.Params()))
-					commBytes += bytes
-					auxUpdates[to] = append(auxUpdates[to], moduleUpdate{vec: vec, weight: weight})
+					out.aux = &modVec{to, vec, bytes}
 				}
 
 				// Latency accounting: the prefix forward runs once per batch;
 				// the assigned range runs PGD attack passes plus the training
 				// pass.
-				rangeFwd := casc.RangeForwardFLOPs(mIdx, to)
+				rangeFwd := c.RangeForwardFLOPs(mIdx, to)
 				flops := int64(iters) * (prefixFwd*int64(env.Cfg.Batch) +
 					memmodel.TrainingFLOPs(rangeFwd, env.Cfg.Batch, atkSteps(atkCfg)))
-				lats = append(lats, simlat.ClientLatency(simlat.Work{
+				out.lat = simlat.ClientLatency(simlat.Work{
 					FLOPs:     flops,
-					MemReq:    casc.RangeMemReq(mIdx, to),
+					MemReq:    c.RangeMemReq(mIdx, to),
 					MemBudget: snaps[i].budget,
 					Passes:    int64(iters) * simlat.PassesPerBatch(atkSteps(atkCfg)),
 					Swap:      false, // DMA never exceeds the budget
-				}, env.Fleet.Snapshot(k, rng)))
+				}, snaps[i].snap)
+			})
+			if err != nil {
+				return finishPartial(err)
 			}
 
-			globalBackbone = partialAverage(mergeFixed(updates, globalBackbone), globalBackbone)
-			globalAux = partialAverage(mergeFixed(auxUpdates, globalAux), globalAux)
-			globalBN = partialAverage(mergeFixed(bnUpdates, globalBN), globalBN)
-			loadGlobals()
+			updates := map[int][]moduleUpdate{}
+			auxUpdates := map[int][]moduleUpdate{}
+			bnUpdates := map[int][]moduleUpdate{}
+			var lats []simlat.Latency
+			roundLoss, lossN := 0.0, 0
+			for i := range outs {
+				out := &outs[i]
+				for _, mv := range out.backbone {
+					updates[mv.j] = append(updates[mv.j], moduleUpdate{vec: mv.vec, weight: out.weight})
+					commBytes += mv.bytes
+				}
+				for _, mv := range out.bn {
+					bnUpdates[mv.j] = append(bnUpdates[mv.j], moduleUpdate{vec: mv.vec, weight: out.weight})
+					commBytes += mv.bytes
+				}
+				if out.aux != nil {
+					auxUpdates[out.aux.j] = append(auxUpdates[out.aux.j], moduleUpdate{vec: out.aux.vec, weight: out.weight})
+					commBytes += out.aux.bytes
+				}
+				roundLoss += out.loss
+				lossN += out.lossN
+				lats = append(lats, out.lat)
+			}
+
+			globalBackbone = partialAverage(mergeFixed(updates, globalBackbone), globalBackbone, env.Aggregate)
+			globalAux = partialAverage(mergeFixed(auxUpdates, globalAux), globalAux, env.Aggregate)
+			globalBN = partialAverage(mergeFixed(bnUpdates, globalBN), globalBN, env.Aggregate)
+			loadGlobalsInto(casc)
 
 			// Validation of the cascaded modules for APA and early stopping.
 			comp := casc.Composite(mIdx)
@@ -227,7 +301,7 @@ func (f *FedProphet) Run(env *fl.Env) *fl.Result {
 			if lossN > 0 {
 				avgLoss = roundLoss / float64(lossN)
 			}
-			res.History = append(res.History, fl.RoundMetrics{
+			env.Record(res, fl.RoundMetrics{
 				Round:      globalRound,
 				Loss:       avgLoss,
 				Latency:    roundLat,
@@ -267,6 +341,7 @@ func (f *FedProphet) Run(env *fl.Env) *fl.Result {
 
 	clean, pgd, aa := fl.Evaluate(casc.Full(), env.Test, env.Cfg, rng)
 	res.CleanAcc, res.PGDAcc, res.AAAcc = clean, pgd, aa
+	res.Model = casc.Full()
 	res.Extra["modules"] = float64(len(casc.Modules))
 	maxMod := int64(0)
 	for i := range casc.Modules {
@@ -279,7 +354,7 @@ func (f *FedProphet) Run(env *fl.Env) *fl.Result {
 	res.Extra["mem_reduction"] = 1 - float64(maxMod)/float64(fullCost.TotalBytes)
 	res.Extra["rounds"] = float64(globalRound)
 	res.Extra["comm_up_bytes"] = float64(commBytes)
-	return res
+	return res, nil
 }
 
 // encodeUpload applies the optional low-bit quantization to one upload

@@ -21,8 +21,8 @@ func TestFedProphetQuantizedUploads(t *testing.T) {
 		return opts
 	}
 
-	full := New(mk(0)).Run(microEnv(t, 31))
-	q8 := New(mk(8)).Run(microEnv(t, 31))
+	full := mustRun(t, New(mk(0)), microEnv(t, 31))
+	q8 := mustRun(t, New(mk(8)), microEnv(t, 31))
 
 	cFull := full.Extra["comm_up_bytes"]
 	cQ8 := q8.Extra["comm_up_bytes"]
@@ -54,8 +54,8 @@ func TestCommBytesGrowWithRounds(t *testing.T) {
 		opts.ValPGD = 1
 		return opts
 	}
-	short := New(mk(1)).Run(microEnv(t, 33))
-	long := New(mk(3)).Run(microEnv(t, 33))
+	short := mustRun(t, New(mk(1)), microEnv(t, 33))
+	long := mustRun(t, New(mk(3)), microEnv(t, 33))
 	if long.Extra["comm_up_bytes"] <= short.Extra["comm_up_bytes"] {
 		t.Fatalf("more rounds must upload more: %v vs %v",
 			short.Extra["comm_up_bytes"], long.Extra["comm_up_bytes"])

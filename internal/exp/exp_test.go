@@ -130,8 +130,8 @@ func TestTable2AndFigure7FromSharedRuns(t *testing.T) {
 
 	ms := Methods(w, s)
 	results := []*fl.Result{
-		ms[0].Run(NewEnv(w, s, device.Balanced, 3)),
-		ms[7].Run(NewEnv(w, s, device.Balanced, 3)),
+		runMethod(ms[0], NewEnv(w, s, device.Balanced, 3)),
+		runMethod(ms[7], NewEnv(w, s, device.Balanced, 3)),
 	}
 	t2 := Table2(w, device.Balanced, results)
 	if len(t2.Rows) != 2 || t2.Rows[0][0] != "jFAT" || t2.Rows[1][0] != "FedProphet" {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -12,6 +13,24 @@ import (
 	"fedprophet/internal/memmodel"
 	"fedprophet/internal/simlat"
 )
+
+// Roster is the paper's method order (Table 2 / Figure 7 rows). Every name
+// resolves through the fl method registry, where the training packages
+// self-register.
+var Roster = []string{
+	"jFAT", "FedDF-AT", "FedET-AT", "HeteroFL-AT", "FedDrop-AT",
+	"FedRolex-AT", "FedRBN", "FedProphet",
+}
+
+// runMethod executes a method to completion on a background context; the
+// harness never cancels mid-run, so an error here is a programming bug.
+func runMethod(m fl.Method, env *fl.Env) *fl.Result {
+	res, err := m.Run(context.Background(), env)
+	if err != nil {
+		panic(fmt.Sprintf("exp: %s: %v", m.Name(), err))
+	}
+	return res
+}
 
 // Report is one regenerated table or figure: a header row plus data rows,
 // ready to print.
@@ -55,34 +74,22 @@ func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
 // FedProphetOptions builds the paper-default FedProphet configuration for a
 // workload at the given scale.
 func FedProphetOptions(w Workload, s Scale) core.Options {
-	o := core.DefaultOptions(w.BuildLarge(s))
-	o.RoundsPerModule = s.RoundsPerModule
-	o.Patience = (s.RoundsPerModule + 1) / 2
-	o.FeaturePGDSteps = s.TrainPGD
-	o.ValSize = s.ValSize
-	o.ValPGD = 3
-	o.Mu = 1e-5
-	// The paper initializes α at 0.3 and lets APA raise it over hundreds of
-	// rounds per module; at this reproduction's much shorter horizons a
-	// mid-range start reaches the same operating point.
-	o.AlphaInit = 0.5
-	return o
+	return core.OptionsFromParams(ParamsFor(w, s))
 }
 
 // Methods returns the full method roster of Table 2 / Figure 7, in the
-// paper's row order.
+// paper's row order, resolved through the method registry.
 func Methods(w Workload, s Scale) []fl.Method {
-	large := w.BuildLarge(s)
-	return []fl.Method{
-		&baselines.JFAT{Build: large},
-		&baselines.KDTraining{Group: w.KDGroup(s), Variant: baselines.FedDF, DistillIters: 2 * s.LocalIters},
-		&baselines.KDTraining{Group: w.KDGroup(s), Variant: baselines.FedET, DistillIters: 2 * s.LocalIters},
-		&baselines.PartialTraining{Build: large, Variant: baselines.HeteroFL},
-		&baselines.PartialTraining{Build: large, Variant: baselines.FedDrop},
-		&baselines.PartialTraining{Build: large, Variant: baselines.FedRolex},
-		&baselines.FedRBN{Build: large, ATCostFactor: 1},
-		core.New(FedProphetOptions(w, s)),
+	params := ParamsFor(w, s)
+	out := make([]fl.Method, 0, len(Roster))
+	for _, name := range Roster {
+		m, err := fl.NewMethod(name, params)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, m)
 	}
+	return out
 }
 
 // RunSetting trains every method on one (workload, heterogeneity) setting
@@ -92,7 +99,7 @@ func RunSetting(w Workload, s Scale, h device.Heterogeneity, seed int64) []*fl.R
 	var out []*fl.Result
 	for _, m := range Methods(w, s) {
 		env := NewEnv(w, s, h, seed)
-		out = append(out, m.Run(env))
+		out = append(out, runMethod(m, env))
 	}
 	return out
 }
@@ -109,12 +116,22 @@ func Table1(s Scale, seed int64) *Report {
 	type cell struct{ clean, adv float64 }
 	results := map[string][2]cell{}
 	for wi, w := range []Workload{CIFAR10S(), Caltech256S(s.Name == "quick")} {
-		small := &baselines.JFAT{Build: w.BuildSmall(s)}
-		large := &baselines.JFAT{Build: w.BuildLarge(s)}
-		pt := &baselines.PartialTraining{Build: w.BuildLarge(s), Variant: baselines.FedRolex}
+		params := ParamsFor(w, s)
+		smallParams := params
+		smallParams.BuildLarge = w.BuildSmall(s)
+		mk := func(name string, p fl.MethodParams) fl.Method {
+			m, err := fl.NewMethod(name, p)
+			if err != nil {
+				panic(err)
+			}
+			return m
+		}
+		small := mk("jFAT", smallParams)
+		large := mk("jFAT", params)
+		pt := mk("FedRolex-AT", params)
 		for i, m := range []fl.Method{small, large, pt} {
 			env := NewEnv(w, s, device.Balanced, seed)
-			res := m.Run(env)
+			res := runMethod(m, env)
 			key := []string{"Small (1x)", "Large (5x)", "Large-PT (1x)"}[i]
 			cells := results[key]
 			cells[wi] = cell{res.CleanAcc, res.PGDAcc}
@@ -290,7 +307,7 @@ func Figure8(w Workload, s Scale, mus []float64, seed int64) *Report {
 		opts := FedProphetOptions(w, s)
 		opts.Mu = mu
 		env := NewEnv(w, s, device.Balanced, seed)
-		res := core.New(opts).Run(env)
+		res := runMethod(core.New(opts), env)
 		rep.Rows = append(rep.Rows, []string{
 			fmt.Sprintf("%.0e", mu), pct(res.PGDAcc), pct(res.CleanAcc),
 			fmt.Sprintf("%.3f", res.Extra["pert_z1"]),
@@ -310,7 +327,7 @@ func Figure9(w Workload, s Scale, fracs []float64, seed int64) *Report {
 		opts := FedProphetOptions(w, s)
 		opts.RminFrac = f
 		env := NewEnv(w, s, device.Balanced, seed)
-		res := core.New(opts).Run(env)
+		res := runMethod(core.New(opts), env)
 		rep.Rows = append(rep.Rows, []string{
 			fmt.Sprintf("%.1f", f),
 			fmt.Sprintf("%.0f", res.Extra["modules"]),
@@ -333,7 +350,7 @@ func Table3(w Workload, s Scale, h device.Heterogeneity, seed int64) *Report {
 		opts := FedProphetOptions(w, s)
 		opts.UseAPA, opts.UseDMA = combo.apa, combo.dma
 		env := NewEnv(w, s, h, seed)
-		res := core.New(opts).Run(env)
+		res := runMethod(core.New(opts), env)
 		mark := func(b bool) string {
 			if b {
 				return "yes"
@@ -353,7 +370,7 @@ func Table3(w Workload, s Scale, h device.Heterogeneity, seed int64) *Report {
 func Figure10(w Workload, s Scale, seed int64) *Report {
 	opts := FedProphetOptions(w, s)
 	env := NewEnv(w, s, device.Balanced, seed)
-	res := core.New(opts).Run(env)
+	res := runMethod(core.New(opts), env)
 	rep := &Report{
 		ID:     "Figure 10",
 		Title:  fmt.Sprintf("Perturbation per dimension across rounds, %s", w.Name),
@@ -380,7 +397,7 @@ func Table4(w Workload, s Scale, h device.Heterogeneity, seed int64) *Report {
 		opts := FedProphetOptions(w, s)
 		opts.UseDMA = dma
 		env := NewEnv(w, s, h, seed)
-		res := core.New(opts).Run(env)
+		res := runMethod(core.New(opts), env)
 		name := "w/ DMA"
 		if !dma {
 			name = "w/o DMA"

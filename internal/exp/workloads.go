@@ -160,6 +160,35 @@ func Caltech256S(quick bool) Workload {
 	}
 }
 
+// ParamsFor assembles the registry method parameters for a workload at the
+// given scale: model builders for every family plus the paper-default
+// FedProphet coordinator knobs (the short-horizon α tweak documented in
+// FedProphetOptions included).
+func ParamsFor(w Workload, s Scale) fl.MethodParams {
+	return fl.MethodParams{
+		BuildLarge:   w.BuildLarge(s),
+		BuildSmall:   w.BuildSmall(s),
+		KDGroup:      w.KDGroup(s),
+		DistillIters: 2 * s.LocalIters,
+
+		RminFrac:        0.2,
+		RoundsPerModule: s.RoundsPerModule,
+		Patience:        (s.RoundsPerModule + 1) / 2,
+		Mu:              1e-5,
+		// The paper initializes α at 0.3 and lets APA raise it over hundreds
+		// of rounds per module; at this reproduction's much shorter horizons
+		// a mid-range start reaches the same operating point.
+		AlphaInit:       0.5,
+		DeltaAlpha:      0.1,
+		GammaThresh:     0.05,
+		UseAPA:          true,
+		UseDMA:          true,
+		FeaturePGDSteps: s.TrainPGD,
+		ValSize:         s.ValSize,
+		ValPGD:          3,
+	}
+}
+
 // NewEnv assembles the federated environment for a workload under the given
 // systematic heterogeneity and seed.
 func NewEnv(w Workload, s Scale, h device.Heterogeneity, seed int64) *fl.Env {

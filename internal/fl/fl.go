@@ -1,14 +1,18 @@
 // Package fl provides the federated-learning core shared by FedProphet and
 // every baseline: the experiment environment (federated data split, device
 // fleet, hyperparameters), client sampling, weighted parameter aggregation
-// (FedAvg), and the Method/Result types the experiment harness consumes.
+// (FedAvg), the Method/Result training contract, the method registry, and
+// the bounded worker pool that trains a round's clients concurrently.
 package fl
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 
 	"fedprophet/internal/data"
 	"fedprophet/internal/device"
+	"fedprophet/internal/nn"
 	"fedprophet/internal/simlat"
 )
 
@@ -56,7 +60,9 @@ func DefaultConfig() Config {
 	}
 }
 
-// Env is the full experimental environment handed to a Method.
+// Env is the full experimental environment handed to a Method. The
+// execution-substrate fields are optional; their zero values reproduce the
+// paper's behaviour (sequential clients, uniform sampling, FedAvg, PGD).
 type Env struct {
 	Train   *data.Dataset
 	Subsets []*data.Subset // per-client local data
@@ -66,6 +72,70 @@ type Env struct {
 	Fleet   *device.Fleet
 	Cfg     Config
 	Rng     *rand.Rand
+
+	// Parallelism bounds the worker pool that trains a round's sampled
+	// clients concurrently. Values ≤ 1 train sequentially. For a fixed seed
+	// the result is bit-identical at any parallelism level: every client
+	// trains from its own deterministically derived RNG and updates are
+	// aggregated in sampling order.
+	Parallelism int
+	// Hook streams each round's telemetry as it completes, in addition to
+	// the accumulated Result.History. It is called synchronously from the
+	// training loop, so long runs can be observed (and aborted via context)
+	// mid-flight.
+	Hook func(RoundMetrics)
+	// Sampler overrides uniform client sampling.
+	Sampler ClientSampler
+	// Aggregator overrides FedAvg weighted averaging.
+	Aggregator Aggregator
+	// TrainAttack overrides the PGD attack used during local adversarial
+	// training.
+	TrainAttack Attack
+}
+
+// Workers returns the effective client-training worker count.
+func (e *Env) Workers() int {
+	if e.Parallelism < 1 {
+		return 1
+	}
+	return e.Parallelism
+}
+
+// ClientWorkers returns Workers() capped at the round cohort size: extra
+// workers could never be scheduled, so callers avoid building model
+// replicas for them.
+func (e *Env) ClientWorkers() int {
+	w := e.Workers()
+	if c := e.Cfg.ClientsPerRound; c > 0 && w > c {
+		w = c
+	}
+	return w
+}
+
+// Sample draws this round's client cohort with the configured sampler.
+func (e *Env) Sample(rng *rand.Rand) []int {
+	if e.Sampler != nil {
+		return e.Sampler.Sample(e.Cfg.NumClients, e.Cfg.ClientsPerRound, rng)
+	}
+	return SampleClients(e.Cfg.NumClients, e.Cfg.ClientsPerRound, rng)
+}
+
+// Aggregate combines client parameter vectors with the configured
+// aggregator (FedAvg weighted averaging by default).
+func (e *Env) Aggregate(vecs [][]float64, weights []float64) []float64 {
+	if e.Aggregator != nil {
+		return e.Aggregator.Aggregate(vecs, weights)
+	}
+	return WeightedAverage(vecs, weights)
+}
+
+// Record appends one round of telemetry to the result history and streams
+// it to the Hook, if any.
+func (e *Env) Record(res *Result, m RoundMetrics) {
+	res.History = append(res.History, m)
+	if e.Hook != nil {
+		e.Hook(m)
+	}
 }
 
 // RoundMetrics records the per-round telemetry used by Figures 7 and 10.
@@ -86,12 +156,24 @@ type Result struct {
 	Latency  simlat.Latency // accumulated synchronous round latency
 	History  []RoundMetrics
 	Extra    map[string]float64
+	// Model is the trained global model (nil when the run was canceled
+	// before any aggregation finished).
+	Model nn.Layer
 }
 
-// Method is a federated training algorithm.
+// Method is a federated training algorithm. Run trains until the configured
+// round budget is exhausted or ctx is canceled; on cancellation it returns
+// the partial result accumulated so far together with an error wrapping
+// ctx.Err() (see PartialProgress).
 type Method interface {
 	Name() string
-	Run(env *Env) *Result
+	Run(ctx context.Context, env *Env) (*Result, error)
+}
+
+// PartialProgress wraps a cancellation error with how far training got; the
+// accompanying Result carries the telemetry of the completed rounds.
+func PartialProgress(err error, completedRounds int) error {
+	return fmt.Errorf("fl: run canceled after %d completed rounds: %w", completedRounds, err)
 }
 
 // SampleClients draws c distinct client indices out of n.

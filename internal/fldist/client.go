@@ -2,6 +2,7 @@ package fldist
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -29,9 +30,14 @@ type Client struct {
 }
 
 // Pull fetches the current global model and loads it into the local replica.
-// It returns the server round the blob belongs to.
-func (c *Client) Pull() (int, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/model")
+// It returns the server round the blob belongs to. Canceling ctx aborts the
+// request.
+func (c *Client) Pull(ctx context.Context) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/model", nil)
+	if err != nil {
+		return 0, fmt.Errorf("fldist: pull: %w", err)
+	}
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return 0, fmt.Errorf("fldist: pull: %w", err)
 	}
@@ -86,7 +92,10 @@ func (c *Client) TrainLocal(lr float64) float64 {
 
 // Push uploads the trained replica for the given round. A 409 response
 // (stale round) is reported as ErrStaleRound so callers can re-pull.
-func (c *Client) Push(round int) error {
+// Canceling ctx aborts the request. Pushes are idempotent per (client,
+// round): the server counts only the first copy, so retrying after a lost
+// response is safe.
+func (c *Client) Push(ctx context.Context, round int) error {
 	u := Update{
 		ClientID: c.ID,
 		Round:    round,
@@ -98,7 +107,12 @@ func (c *Client) Push(round int) error {
 	if err := gob.NewEncoder(&buf).Encode(u); err != nil {
 		return fmt.Errorf("fldist: encoding update: %w", err)
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+"/update", "application/octet-stream", &buf)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/update", &buf)
+	if err != nil {
+		return fmt.Errorf("fldist: push: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return fmt.Errorf("fldist: push: %w", err)
 	}
@@ -119,15 +133,19 @@ func (c *Client) Push(round int) error {
 var ErrStaleRound = fmt.Errorf("fldist: update for a stale round")
 
 // RunRounds participates in n federated rounds: pull, train, push,
-// retrying on stale rounds.
-func (c *Client) RunRounds(n int, lr float64) error {
+// retrying on stale rounds. Canceling ctx stops between steps and aborts
+// in-flight requests.
+func (c *Client) RunRounds(ctx context.Context, n int, lr float64) error {
 	for done := 0; done < n; {
-		round, err := c.Pull()
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("fldist: client %d stopped after %d rounds: %w", c.ID, done, err)
+		}
+		round, err := c.Pull(ctx)
 		if err != nil {
 			return err
 		}
 		c.TrainLocal(lr)
-		switch err := c.Push(round); err {
+		switch err := c.Push(ctx, round); err {
 		case nil:
 			done++
 		case ErrStaleRound:

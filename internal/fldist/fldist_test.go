@@ -2,12 +2,15 @@ package fldist
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"fedprophet/internal/attack"
 	"fedprophet/internal/data"
@@ -51,7 +54,7 @@ func TestServerModelRoundTrip(t *testing.T) {
 		Model: build(), Subset: subs[0], Cfg: clientCfg(),
 		Rng: rand.New(rand.NewSource(2)),
 	}
-	round, err := c.Pull()
+	round, err := c.Pull(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,18 +86,18 @@ func TestPushAggregatesAndAdvancesRound(t *testing.T) {
 	}
 	c0, c1 := mk(0), mk(1)
 	for _, c := range []*Client{c0, c1} {
-		if _, err := c.Pull(); err != nil {
+		if _, err := c.Pull(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		c.TrainLocal(0.05)
 	}
-	if err := c0.Push(0); err != nil {
+	if err := c0.Push(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	if srv.Round() != 0 {
 		t.Fatal("round must not advance before quorum")
 	}
-	if err := c1.Push(0); err != nil {
+	if err := c1.Push(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	if srv.Round() != 1 {
@@ -128,20 +131,20 @@ func TestStaleRoundRejected(t *testing.T) {
 		}
 	}
 	fast, slow := mk(0), mk(1)
-	if _, err := slow.Pull(); err != nil {
+	if _, err := slow.Pull(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Fast client completes round 0 (quorum 1 → aggregation).
-	if _, err := fast.Pull(); err != nil {
+	if _, err := fast.Pull(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	fast.TrainLocal(0.05)
-	if err := fast.Push(0); err != nil {
+	if err := fast.Push(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	// Slow client now pushes for round 0 and must be told it is stale.
 	slow.TrainLocal(0.05)
-	if err := slow.Push(0); err != ErrStaleRound {
+	if err := slow.Push(context.Background(), 0); err != ErrStaleRound {
 		t.Fatalf("want ErrStaleRound, got %v", err)
 	}
 }
@@ -201,7 +204,7 @@ func TestDistributedFederationLearns(t *testing.T) {
 				Model: build(), Subset: subs[id], Cfg: clientCfg(),
 				Rng: rand.New(rand.NewSource(int64(100 + id))),
 			}
-			errs[id] = c.RunRounds(rounds, 0.05)
+			errs[id] = c.RunRounds(context.Background(), rounds, 0.05)
 		}(id)
 	}
 	wg.Wait()
@@ -221,5 +224,97 @@ func TestDistributedFederationLearns(t *testing.T) {
 	acc := attack.CleanAccuracy(final, test, 16)
 	if acc <= 0.5 {
 		t.Fatalf("distributed federation failed to learn: accuracy %v", acc)
+	}
+}
+
+// A client that retries its push after a lost/slow 200 must not be
+// double-counted in the round's FedAvg weights.
+func TestDuplicateUpdateNotDoubleCounted(t *testing.T) {
+	_, _, subs, build := testSetup(t, 2, 13)
+	m := build()
+	srv := NewServer(nn.ExportParams(m), nn.ExportBNStats(m), 2)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	mk := func(id int) *Client {
+		return &Client{
+			ID: id, BaseURL: ts.URL, HTTP: ts.Client(),
+			Model: build(), Subset: subs[id], Cfg: clientCfg(),
+			Rng: rand.New(rand.NewSource(int64(40 + id))),
+		}
+	}
+	ctx := context.Background()
+	c0, c1 := mk(0), mk(1)
+	for _, c := range []*Client{c0, c1} {
+		if _, err := c.Pull(ctx); err != nil {
+			t.Fatal(err)
+		}
+		c.TrainLocal(0.05)
+	}
+	// Client 0 pushes, then retries the same round (simulating a lost 200).
+	if err := c0.Push(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c0.Push(ctx, 0); err != nil {
+		t.Fatalf("duplicate push must be acknowledged idempotently, got %v", err)
+	}
+	if srv.Round() != 0 {
+		t.Fatal("duplicate must not count toward the quorum")
+	}
+	if got := srv.DuplicatesDropped(); got != 1 {
+		t.Fatalf("DuplicatesDropped = %d, want 1", got)
+	}
+	if err := c1.Push(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Round() != 1 {
+		t.Fatalf("round = %d after both distinct clients pushed, want 1", srv.Round())
+	}
+	// The aggregate must weight each client exactly once.
+	p0, p1 := nn.ExportParams(c0.Model), nn.ExportParams(c1.Model)
+	w0, w1 := float64(subs[0].Len()), float64(subs[1].Len())
+	got, _ := srv.Snapshot()
+	for i := range got {
+		want := (w0*p0[i] + w1*p1[i]) / (w0 + w1)
+		if diff := got[i] - want; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("aggregate[%d] = %v, want single-counted %v", i, got[i], want)
+		}
+	}
+}
+
+// Serve must run until canceled, then shut down gracefully.
+func TestServerGracefulShutdown(t *testing.T) {
+	_, _, _, build := testSetup(t, 2, 17)
+	m := build()
+	srv := NewServer(nn.ExportParams(m), nn.ExportBNStats(m), 1)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+
+	// Wait until the server answers, then cancel and expect a clean exit.
+	c := &Client{ID: 0, BaseURL: "http://" + ln.Addr().String(), HTTP: &http.Client{}, Model: build()}
+	var pullErr error
+	for i := 0; i < 50; i++ {
+		if _, pullErr = c.Pull(ctx); pullErr == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if pullErr != nil {
+		t.Fatalf("server never came up: %v", pullErr)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down after cancel")
 	}
 }

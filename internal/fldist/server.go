@@ -9,10 +9,13 @@ package fldist
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
+	"net"
 	"net/http"
 	"sync"
+	"time"
 
 	"fedprophet/internal/fl"
 )
@@ -47,9 +50,16 @@ type Server struct {
 	pendingParams [][]float64
 	pendingBN     [][]float64
 	pendingW      []float64
+	// pendingIDs tracks which clients already contributed to the current
+	// round, so a client that retries after a slow 200 cannot be
+	// double-counted in the FedAvg weights. The first update wins; repeats
+	// are acknowledged idempotently.
+	pendingIDs map[int]bool
 
 	// RoundsCompleted counts aggregations, exposed for tests/monitoring.
 	roundsCompleted int
+	// duplicatesDropped counts idempotently ignored retries.
+	duplicatesDropped int
 }
 
 // NewServer creates a parameter server seeded with the initial global model.
@@ -61,6 +71,7 @@ func NewServer(initParams, initBN []float64, updatesPerRound int) *Server {
 		params:          append([]float64(nil), initParams...),
 		bn:              append([]float64(nil), initBN...),
 		updatesPerRound: updatesPerRound,
+		pendingIDs:      map[int]bool{},
 	}
 }
 
@@ -118,6 +129,16 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "non-positive weight", http.StatusBadRequest)
 		return
 	}
+	if s.pendingIDs[u.ClientID] {
+		// Retry of an already-counted update (e.g. the client timed out
+		// waiting for a slow 200). Acknowledge without re-counting so the
+		// FedAvg weights stay correct and the client moves on.
+		s.duplicatesDropped++
+		w.Header().Set("X-Fldist-Duplicate", "1")
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	s.pendingIDs[u.ClientID] = true
 	s.pendingParams = append(s.pendingParams, u.Params)
 	s.pendingBN = append(s.pendingBN, u.BN)
 	s.pendingW = append(s.pendingW, u.Weight)
@@ -127,6 +148,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			s.bn = fl.WeightedAverage(s.pendingBN, s.pendingW)
 		}
 		s.pendingParams, s.pendingBN, s.pendingW = nil, nil, nil
+		s.pendingIDs = map[int]bool{}
 		s.round++
 		s.roundsCompleted++
 	}
@@ -147,9 +169,49 @@ func (s *Server) RoundsCompleted() int {
 	return s.roundsCompleted
 }
 
+// DuplicatesDropped returns how many same-round retries were idempotently
+// ignored.
+func (s *Server) DuplicatesDropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.duplicatesDropped
+}
+
 // Snapshot returns a copy of the current global parameters and BN stats.
 func (s *Server) Snapshot() ([]float64, []float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]float64(nil), s.params...), append([]float64(nil), s.bn...)
+}
+
+// ListenAndServe runs the parameter server on addr until ctx is canceled,
+// then shuts the HTTP server down gracefully (in-flight pulls and pushes
+// finish; new connections are refused). It returns nil on a clean
+// ctx-triggered shutdown.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("fldist: listen: %w", err)
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve runs the parameter server on an existing listener until ctx is
+// canceled, then shuts down gracefully. The listener is closed on return.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			return fmt.Errorf("fldist: shutdown: %w", err)
+		}
+		<-errc // drain the ErrServerClosed from Serve
+		return nil
+	case err := <-errc:
+		return fmt.Errorf("fldist: serve: %w", err)
+	}
 }

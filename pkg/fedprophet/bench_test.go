@@ -1,0 +1,39 @@
+package fedprophet_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"fedprophet/pkg/fedprophet"
+)
+
+// BenchmarkClientParallelism measures the per-run wall clock of the same
+// seeded quick-scale CIFAR jFAT workload at increasing client parallelism.
+// The results are bit-identical across sub-benchmarks; only the wall clock
+// may differ. On a single-core host (GOMAXPROCS=1) the lines coincide —
+// the speedup needs real cores.
+//
+//	go test -bench=ClientParallelism -benchtime=1x ./pkg/fedprophet
+func BenchmarkClientParallelism(b *testing.B) {
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := fedprophet.Run(context.Background(),
+					fedprophet.WithMethod("jFAT"),
+					fedprophet.WithWorkload("cifar"),
+					fedprophet.WithScale("quick"),
+					fedprophet.WithSeed(1),
+					fedprophet.WithRounds(4),
+					fedprophet.WithClientParallelism(par),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.CleanAcc < 0 {
+					b.Fatal("bogus result")
+				}
+			}
+		})
+	}
+}
