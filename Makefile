@@ -1,13 +1,15 @@
 # Build, verify and benchmark the FedProphet reproduction.
 #
-#   make ci      - everything the tier-1 gate runs: build, vet, test
+#   make ci      - everything the tier-1 gate runs: build, vet, test, race
 #   make bench   - repository benchmarks (paper tables/figures) with -benchmem
 #   make bench-parallel - client-parallelism wall-clock benchmark
+#   make bench-conv     - direct vs GEMM convolution backend benchmark
+#   make bench-json     - record the conv-backend baseline to BENCH_conv.json
 #   make cover   - tests with coverage summary
 
 GO ?= go
 
-.PHONY: all build vet test ci bench bench-parallel cover clean
+.PHONY: all build vet test test-race ci bench bench-parallel bench-conv bench-json cover clean
 
 all: ci
 
@@ -20,13 +22,25 @@ vet:
 test:
 	$(GO) test ./...
 
-ci: build vet test
+# The concurrency-bearing packages (tensor worker pool + scratch arena,
+# parallel GEMM convolutions, client-parallel training) under the race
+# detector.
+test-race:
+	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/fl/...
+
+ci: build vet test test-race
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
 bench-parallel:
 	$(GO) test -bench=ClientParallelism -benchmem -benchtime=1x ./pkg/fedprophet
+
+bench-conv:
+	$(GO) test -bench=ConvBackends -benchmem -benchtime=2s -run '^$$' .
+
+bench-json:
+	$(GO) run ./cmd/benchconv -out BENCH_conv.json
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,122 @@
+// Command benchconv records the convolution-backend performance baseline:
+// forward+backward wall time of representative conv layers at batch 16 under
+// the direct-loop and im2col/GEMM backends, written as JSON so the repo's
+// perf trajectory (BENCH_conv.json) is machine-comparable across PRs.
+//
+//	go run ./cmd/benchconv -out BENCH_conv.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"fedprophet/internal/nn"
+	"fedprophet/internal/tensor"
+)
+
+type caseResult struct {
+	Name       string  `json:"name"`
+	Batch      int     `json:"batch"`
+	InC        int     `json:"in_c"`
+	OutC       int     `json:"out_c"`
+	H          int     `json:"h"`
+	W          int     `json:"w"`
+	Kernel     int     `json:"kernel"`
+	Stride     int     `json:"stride"`
+	Pad        int     `json:"pad"`
+	DirectNsOp int64   `json:"direct_ns_op"`
+	GEMMNsOp   int64   `json:"gemm_ns_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
+type report struct {
+	Bench      string       `json:"bench"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	Cases      []caseResult `json:"cases"`
+	// MeanSpeedup is the geometric mean of per-case speedups.
+	MeanSpeedup float64 `json:"mean_speedup"`
+}
+
+func benchBackend(backend nn.ConvBackend, batch, inC, outC, h, w, k, stride, pad int) int64 {
+	r := testing.Benchmark(func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		c := nn.NewConv2D(inC, outC, k, stride, pad, false, rng)
+		c.Backend = backend
+		x := tensor.Randn(rng, 1, batch, inC, h, w)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out := c.Forward(x, true)
+			nn.ZeroGrads(c)
+			c.Backward(out)
+		}
+	})
+	return r.NsPerOp()
+}
+
+func main() {
+	out := flag.String("out", "BENCH_conv.json", "output JSON path (- for stdout)")
+	batch := flag.Int("batch", 16, "batch size")
+	flag.Parse()
+
+	// The CIFAR10-S VGG16-S stack at width 8: the first conv, the widest
+	// 16×16 stage, a mid-depth 8×8 stage, and a strided ResNet-style
+	// downsampling conv.
+	cases := []struct {
+		name                            string
+		inC, outC, h, w, k, stride, pad int
+	}{
+		{"first_3to8_16x16", 3, 8, 16, 16, 3, 1, 1},
+		{"mid_16to32_16x16", 16, 32, 16, 16, 3, 1, 1},
+		{"mid_32to32_8x8", 32, 32, 8, 8, 3, 1, 1},
+		{"deep_64to64_4x4", 64, 64, 4, 4, 3, 1, 1},
+		{"strided_32to64_8x8", 32, 64, 8, 8, 3, 2, 1},
+	}
+
+	rep := report{
+		Bench:      "conv_forward_backward",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	logMean := 0.0
+	for _, cs := range cases {
+		d := benchBackend(nn.ConvDirect, *batch, cs.inC, cs.outC, cs.h, cs.w, cs.k, cs.stride, cs.pad)
+		g := benchBackend(nn.ConvGEMM, *batch, cs.inC, cs.outC, cs.h, cs.w, cs.k, cs.stride, cs.pad)
+		sp := float64(d) / float64(g)
+		rep.Cases = append(rep.Cases, caseResult{
+			Name: cs.name, Batch: *batch,
+			InC: cs.inC, OutC: cs.outC, H: cs.h, W: cs.w,
+			Kernel: cs.k, Stride: cs.stride, Pad: cs.pad,
+			DirectNsOp: d, GEMMNsOp: g, Speedup: round2(sp),
+		})
+		logMean += math.Log(sp)
+		fmt.Fprintf(os.Stderr, "%-22s direct %12d ns/op   gemm %12d ns/op   %.2fx\n",
+			cs.name, d, g, sp)
+	}
+	rep.MeanSpeedup = round2(math.Exp(logMean / float64(len(cases))))
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (mean speedup %.2fx at GOMAXPROCS=%d)\n",
+		*out, rep.MeanSpeedup, rep.GoMaxProcs)
+}
+
+func round2(x float64) float64 { return math.Round(x*100) / 100 }

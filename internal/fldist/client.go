@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"time"
 
 	"fedprophet/internal/attack"
 	"fedprophet/internal/data"
@@ -90,12 +91,15 @@ func (c *Client) TrainLocal(lr float64) float64 {
 	return total / float64(iters)
 }
 
-// Push uploads the trained replica for the given round. A 409 response
-// (stale round) is reported as ErrStaleRound so callers can re-pull.
-// Canceling ctx aborts the request. Pushes are idempotent per (client,
-// round): the server counts only the first copy, so retrying after a lost
-// response is safe.
-func (c *Client) Push(ctx context.Context, round int) error {
+// Push uploads the trained replica for the given round. counted reports
+// whether the server added this update to the round's aggregate; it is false
+// when the server had already counted an update from this client for the
+// round (the X-Fldist-Duplicate marker) and idempotently dropped this copy.
+// A 409 response (stale round) is reported as ErrStaleRound so callers can
+// re-pull. Canceling ctx aborts the request. Pushes are idempotent per
+// (client, round): the server counts only the first copy, so retrying after
+// a lost response is safe — the retry just reports counted=false.
+func (c *Client) Push(ctx context.Context, round int) (counted bool, err error) {
 	u := Update{
 		ClientID: c.ID,
 		Round:    round,
@@ -105,26 +109,26 @@ func (c *Client) Push(ctx context.Context, round int) error {
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(u); err != nil {
-		return fmt.Errorf("fldist: encoding update: %w", err)
+		return false, fmt.Errorf("fldist: encoding update: %w", err)
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/update", &buf)
 	if err != nil {
-		return fmt.Errorf("fldist: push: %w", err)
+		return false, fmt.Errorf("fldist: push: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
-		return fmt.Errorf("fldist: push: %w", err)
+		return false, fmt.Errorf("fldist: push: %w", err)
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
-		return nil
+		return resp.Header.Get("X-Fldist-Duplicate") == "", nil
 	case http.StatusConflict:
-		return ErrStaleRound
+		return false, ErrStaleRound
 	default:
 		body, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("fldist: push: %s: %s", resp.Status, body)
+		return false, fmt.Errorf("fldist: push: %s: %s", resp.Status, body)
 	}
 }
 
@@ -132,8 +136,12 @@ func (c *Client) Push(ctx context.Context, round int) error {
 // update arrived; the client should Pull and retrain.
 var ErrStaleRound = fmt.Errorf("fldist: update for a stale round")
 
-// RunRounds participates in n federated rounds: pull, train, push,
-// retrying on stale rounds. Canceling ctx stops between steps and aborts
+// RunRounds participates in n federated rounds: pull, train, push, retrying
+// on stale rounds. The server is a synchronous FedAvg aggregator, so after a
+// counted push the client waits for the round to advance before pulling
+// again — otherwise a fast client would retrain on the unchanged global
+// model and push updates the server idempotently drops as duplicates (and
+// mistake those for progress). Canceling ctx stops between steps and aborts
 // in-flight requests.
 func (c *Client) RunRounds(ctx context.Context, n int, lr float64) error {
 	for done := 0; done < n; {
@@ -145,14 +153,79 @@ func (c *Client) RunRounds(ctx context.Context, n int, lr float64) error {
 			return err
 		}
 		c.TrainLocal(lr)
-		switch err := c.Push(ctx, round); err {
-		case nil:
+		counted, err := c.Push(ctx, round)
+		switch {
+		case err == nil && counted:
 			done++
-		case ErrStaleRound:
+			if done < n {
+				if err := c.awaitRoundAfter(ctx, round); err != nil {
+					return err
+				}
+			}
+		case err == nil:
+			// Duplicate: an earlier update of ours already counted toward
+			// this round. Wait out the aggregation instead of spinning.
+			if err := c.awaitRoundAfter(ctx, round); err != nil {
+				return err
+			}
+		case err == ErrStaleRound:
 			continue // re-pull and retrain on the fresh model
 		default:
 			return err
 		}
 	}
 	return nil
+}
+
+// Round fetches the server's current round number without transferring the
+// model blob.
+func (c *Client) Round(ctx context.Context) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/round", nil)
+	if err != nil {
+		return 0, fmt.Errorf("fldist: round: %w", err)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("fldist: round: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, fmt.Errorf("fldist: round: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("fldist: round: %s: %s", resp.Status, body)
+	}
+	var round int
+	if _, err := fmt.Sscanf(string(bytes.TrimSpace(body)), "%d", &round); err != nil {
+		return 0, fmt.Errorf("fldist: round: parsing %q: %w", body, err)
+	}
+	return round, nil
+}
+
+// awaitRoundAfter polls the server's round counter (not the full model)
+// until it exceeds round, with exponential backoff between polls. It returns
+// when the aggregation that includes this client's update has completed, or
+// with ctx's error on cancellation.
+func (c *Client) awaitRoundAfter(ctx context.Context, round int) error {
+	backoff := 2 * time.Millisecond
+	const maxBackoff = 100 * time.Millisecond
+	for {
+		cur, err := c.Round(ctx)
+		if err != nil {
+			return err
+		}
+		if cur > round {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("fldist: client %d canceled waiting for round %d: %w",
+				c.ID, round+1, ctx.Err())
+		case <-time.After(backoff):
+		}
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
 }

@@ -91,14 +91,14 @@ func TestPushAggregatesAndAdvancesRound(t *testing.T) {
 		}
 		c.TrainLocal(0.05)
 	}
-	if err := c0.Push(context.Background(), 0); err != nil {
-		t.Fatal(err)
+	if counted, err := c0.Push(context.Background(), 0); err != nil || !counted {
+		t.Fatalf("push: counted=%v err=%v", counted, err)
 	}
 	if srv.Round() != 0 {
 		t.Fatal("round must not advance before quorum")
 	}
-	if err := c1.Push(context.Background(), 0); err != nil {
-		t.Fatal(err)
+	if counted, err := c1.Push(context.Background(), 0); err != nil || !counted {
+		t.Fatalf("push: counted=%v err=%v", counted, err)
 	}
 	if srv.Round() != 1 {
 		t.Fatalf("round = %d after quorum, want 1", srv.Round())
@@ -139,12 +139,12 @@ func TestStaleRoundRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	fast.TrainLocal(0.05)
-	if err := fast.Push(context.Background(), 0); err != nil {
+	if _, err := fast.Push(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	// Slow client now pushes for round 0 and must be told it is stale.
 	slow.TrainLocal(0.05)
-	if err := slow.Push(context.Background(), 0); err != ErrStaleRound {
+	if _, err := slow.Push(context.Background(), 0); err != ErrStaleRound {
 		t.Fatalf("want ErrStaleRound, got %v", err)
 	}
 }
@@ -252,11 +252,15 @@ func TestDuplicateUpdateNotDoubleCounted(t *testing.T) {
 		c.TrainLocal(0.05)
 	}
 	// Client 0 pushes, then retries the same round (simulating a lost 200).
-	if err := c0.Push(ctx, 0); err != nil {
-		t.Fatal(err)
+	if counted, err := c0.Push(ctx, 0); err != nil || !counted {
+		t.Fatalf("first push: counted=%v err=%v", counted, err)
 	}
-	if err := c0.Push(ctx, 0); err != nil {
+	counted, err := c0.Push(ctx, 0)
+	if err != nil {
 		t.Fatalf("duplicate push must be acknowledged idempotently, got %v", err)
+	}
+	if counted {
+		t.Fatal("duplicate push must report counted=false so the client does not mistake it for progress")
 	}
 	if srv.Round() != 0 {
 		t.Fatal("duplicate must not count toward the quorum")
@@ -264,8 +268,8 @@ func TestDuplicateUpdateNotDoubleCounted(t *testing.T) {
 	if got := srv.DuplicatesDropped(); got != 1 {
 		t.Fatalf("DuplicatesDropped = %d, want 1", got)
 	}
-	if err := c1.Push(ctx, 0); err != nil {
-		t.Fatal(err)
+	if counted, err := c1.Push(ctx, 0); err != nil || !counted {
+		t.Fatalf("push: counted=%v err=%v", counted, err)
 	}
 	if srv.Round() != 1 {
 		t.Fatalf("round = %d after both distinct clients pushed, want 1", srv.Round())
@@ -316,5 +320,35 @@ func TestServerGracefulShutdown(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("server did not shut down after cancel")
+	}
+}
+
+// The lightweight round endpoint must track aggregations without shipping
+// the model blob.
+func TestRoundEndpoint(t *testing.T) {
+	_, _, subs, build := testSetup(t, 2, 19)
+	m := build()
+	srv := NewServer(nn.ExportParams(m), nn.ExportBNStats(m), 1)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := &Client{
+		ID: 0, BaseURL: ts.URL, HTTP: ts.Client(),
+		Model: build(), Subset: subs[0], Cfg: clientCfg(),
+		Rng: rand.New(rand.NewSource(60)),
+	}
+	ctx := context.Background()
+	if r, err := c.Round(ctx); err != nil || r != 0 {
+		t.Fatalf("Round = %d, %v; want 0, nil", r, err)
+	}
+	if _, err := c.Pull(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c.TrainLocal(0.05)
+	if counted, err := c.Push(ctx, 0); err != nil || !counted {
+		t.Fatalf("push: counted=%v err=%v", counted, err)
+	}
+	if r, err := c.Round(ctx); err != nil || r != 1 {
+		t.Fatalf("Round after quorum = %d, %v; want 1, nil", r, err)
 	}
 }

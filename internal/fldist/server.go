@@ -79,8 +79,21 @@ func NewServer(initParams, initBN []float64, updatesPerRound int) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/model", s.handleModel)
+	mux.HandleFunc("/round", s.handleRound)
 	mux.HandleFunc("/update", s.handleUpdate)
 	return mux
+}
+
+// handleRound serves just the current round number, so clients waiting out a
+// synchronous aggregation can poll cheaply instead of re-downloading the
+// whole model blob.
+func (s *Server) handleRound(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintf(w, "%d", s.Round())
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {

@@ -88,8 +88,16 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 				}
 			}
 			varr = v / float64(n)
+			// The biased (÷n) variance normalizes the batch, but the running
+			// statistic uses the unbiased (÷(n−1)) estimator as PyTorch does,
+			// so eval-mode outputs are not systematically sharpened at small
+			// batch sizes.
+			runVar := varr
+			if n > 1 {
+				runVar = v / float64(n-1)
+			}
 			bn.RunningMean.Data[ch] = (1-bn.Momentum)*bn.RunningMean.Data[ch] + bn.Momentum*mean
-			bn.RunningVar.Data[ch] = (1-bn.Momentum)*bn.RunningVar.Data[ch] + bn.Momentum*varr
+			bn.RunningVar.Data[ch] = (1-bn.Momentum)*bn.RunningVar.Data[ch] + bn.Momentum*runVar
 		} else {
 			mean = bn.RunningMean.Data[ch]
 			varr = bn.RunningVar.Data[ch]

@@ -1,26 +1,99 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"os"
+	"strings"
+	"sync/atomic"
 
 	"fedprophet/internal/tensor"
 )
 
+// ConvBackend selects the convolution implementation.
+type ConvBackend int
+
+const (
+	// ConvAuto follows the package-wide default (see SetConvBackend).
+	ConvAuto ConvBackend = iota
+	// ConvDirect is the original direct-loop implementation, kept as the
+	// reference the GEMM path is verified against.
+	ConvDirect
+	// ConvGEMM lowers the convolution onto im2col plus cache-blocked,
+	// batch-parallel GEMM — the default, and the fast path for training.
+	ConvGEMM
+)
+
+// String names the backend for logs and errors.
+func (b ConvBackend) String() string {
+	switch b {
+	case ConvDirect:
+		return "direct"
+	case ConvGEMM:
+		return "gemm"
+	default:
+		return "auto"
+	}
+}
+
+// defaultConvBackend holds the process-wide backend used by convolutions
+// whose Backend field is ConvAuto. Atomic because client workers may be
+// mid-forward when a caller flips it.
+var defaultConvBackend atomic.Int32
+
+func init() {
+	b := ConvGEMM
+	switch v := strings.ToLower(os.Getenv("FEDPROPHET_CONV_BACKEND")); v {
+	case "direct":
+		b = ConvDirect
+	case "", "gemm":
+	default:
+		fmt.Fprintf(os.Stderr, "nn: ignoring unknown FEDPROPHET_CONV_BACKEND=%q (want direct or gemm)\n", v)
+	}
+	defaultConvBackend.Store(int32(b))
+}
+
+// SetConvBackend sets the process-wide default convolution backend. The
+// environment variable FEDPROPHET_CONV_BACKEND=direct selects the direct
+// loops at startup without code changes.
+func SetConvBackend(b ConvBackend) {
+	if b == ConvAuto {
+		b = ConvGEMM
+	}
+	defaultConvBackend.Store(int32(b))
+}
+
+// DefaultConvBackend reports the current process-wide default.
+func DefaultConvBackend() ConvBackend { return ConvBackend(defaultConvBackend.Load()) }
+
 // Conv2D is a 2-D convolution over NCHW inputs with square kernels,
 // configurable stride and zero padding.
 type Conv2D struct {
-	InC, OutC   int
-	Kernel      int
-	Stride      int
-	Pad         int
-	W           *Param // (OutC, InC, K, K)
-	B           *Param // (OutC)
-	hasBias     bool
-	x           *tensor.Tensor // cached input
-	inH, inW    int
-	outH, outW  int
-	cachedTrain bool
+	InC, OutC int
+	Kernel    int
+	Stride    int
+	Pad       int
+	W         *Param // (OutC, InC, K, K)
+	B         *Param // (OutC)
+	// Backend overrides the implementation for this layer; leave ConvAuto
+	// (the zero value) to follow the package default.
+	Backend ConvBackend
+
+	hasBias    bool
+	x          *tensor.Tensor // cached input
+	inH, inW   int
+	outH, outW int
+	// usedGEMM latches which backend the last Forward ran, so Backward
+	// stays consistent with it even if SetConvBackend flips the package
+	// default mid-flight.
+	usedGEMM bool
+
+	// col caches the im2col unrolling of the last forward input, one
+	// (InC·K·K)×(outH·outW) block per image. Forward fills it, Backward
+	// reads it, and it is reused across batches so the training hot loop
+	// stops allocating. ReleaseScratch returns it to tensor.Scratch.
+	col []float64
 }
 
 // NewConv2D constructs a convolution with Kaiming-normal initialization.
@@ -41,21 +114,87 @@ func NewConv2D(inC, outC, kernel, stride, pad int, bias bool, rng *rand.Rand) *C
 }
 
 func (c *Conv2D) outDims(h, w int) (int, int) {
-	oh := (h+2*c.Pad-c.Kernel)/c.Stride + 1
-	ow := (w+2*c.Pad-c.Kernel)/c.Stride + 1
-	return oh, ow
+	return tensor.ConvOutDims(h, w, c.Kernel, c.Stride, c.Pad)
 }
 
-// Forward performs the convolution via direct loops. Inputs are NCHW.
+func (c *Conv2D) backend() ConvBackend {
+	if c.Backend != ConvAuto {
+		return c.Backend
+	}
+	return DefaultConvBackend()
+}
+
+// ReleaseScratch returns the layer's cached im2col buffer to the shared
+// arena. Call it when the layer goes idle (end of a client's training turn);
+// the next Forward will transparently reacquire scratch.
+func (c *Conv2D) ReleaseScratch() {
+	if c.col != nil {
+		tensor.Scratch.Put(c.col)
+		c.col = nil
+	}
+}
+
+// Forward performs the convolution. Inputs are NCHW.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	bsz, inC, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	if inC != c.InC {
 		panic("nn: Conv2D channel mismatch")
 	}
 	oh, ow := c.outDims(h, w)
-	c.x, c.inH, c.inW, c.outH, c.outW, c.cachedTrain = x, h, w, oh, ow, train
+	c.x, c.inH, c.inW, c.outH, c.outW = x, h, w, oh, ow
 
 	out := tensor.New(bsz, c.OutC, oh, ow)
+	c.usedGEMM = c.backend() != ConvDirect
+	if c.usedGEMM {
+		c.forwardGEMM(x, out, bsz, h, w, oh, ow)
+	} else {
+		c.forwardDirect(x, out, bsz, h, w, oh, ow)
+	}
+	return out
+}
+
+// forwardGEMM lowers the convolution onto im2col + GEMM: each image's
+// receptive fields are unrolled into a column matrix and the whole layer
+// becomes W (OutC × InC·K²) times col (InC·K² × outH·outW), written straight
+// into the image's contiguous output block. Images run in parallel; each
+// per-element sum accumulates in the same (ic, kh, kw) order as the direct
+// loops, so the two backends produce bit-identical forward activations.
+func (c *Conv2D) forwardGEMM(x, out *tensor.Tensor, bsz, h, w, oh, ow int) {
+	k, st, pad := c.Kernel, c.Stride, c.Pad
+	ickk := c.InC * k * k
+	ohow := oh * ow
+	need := bsz * ickk * ohow
+	if cap(c.col) < need {
+		tensor.Scratch.Put(c.col)
+		c.col = tensor.Scratch.Get(need)
+	}
+	c.col = c.col[:need]
+	wd := c.W.Data.Data
+	tensor.ParallelFor(bsz, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			colB := c.col[b*ickk*ohow : (b+1)*ickk*ohow]
+			tensor.Im2ColInto(colB, x.Data[b*c.InC*h*w:(b+1)*c.InC*h*w], c.InC, h, w, k, st, pad)
+			outB := out.Data[b*c.OutC*ohow : (b+1)*c.OutC*ohow]
+			tensor.MatMulInto(outB, wd, colB, c.OutC, ickk, ohow)
+			if c.hasBias {
+				for oc := 0; oc < c.OutC; oc++ {
+					bias := c.B.Data.Data[oc]
+					if bias == 0 {
+						continue
+					}
+					oplane := outB[oc*ohow : (oc+1)*ohow]
+					for i := range oplane {
+						oplane[i] += bias
+					}
+				}
+			}
+		}
+	})
+}
+
+// forwardDirect is the original direct-loop implementation.
+func (c *Conv2D) forwardDirect(x, out *tensor.Tensor, bsz, h, w, oh, ow int) {
+	inC := c.InC
 	k, st, pad := c.Kernel, c.Stride, c.Pad
 	wd := c.W.Data.Data
 	for b := 0; b < bsz; b++ {
@@ -101,11 +240,76 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			}
 		}
 	}
-	return out
 }
 
-// Backward accumulates weight/bias gradients and returns dL/dx.
+// Backward accumulates weight/bias gradients and returns dL/dx. It always
+// uses the backend the matching Forward ran, so the cached state is
+// consistent even if the package default flips between the two calls.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.usedGEMM {
+		return c.backwardGEMM(grad)
+	}
+	return c.backwardDirect(grad)
+}
+
+// backwardGEMM computes the three convolution gradients on the col buffer
+// cached by forwardGEMM:
+//
+//	dW += dY_b · col_bᵀ   (MatMulTransBAcc, per image in batch order)
+//	dX  = Col2Im(Wᵀ · dY_b)   (MatMulTransA then adjoint scatter, per image)
+//
+// dX parallelizes over images (disjoint writes) and dW over weight rows,
+// with each weight element accumulating images in ascending batch order —
+// so gradients are bit-deterministic at every GOMAXPROCS.
+func (c *Conv2D) backwardGEMM(grad *tensor.Tensor) *tensor.Tensor {
+	bsz := grad.Dim(0)
+	h, w, oh, ow := c.inH, c.inW, c.outH, c.outW
+	k, st, pad := c.Kernel, c.Stride, c.Pad
+	ickk := c.InC * k * k
+	ohow := oh * ow
+	if len(c.col) != bsz*ickk*ohow {
+		panic(fmt.Sprintf("nn: Conv2D GEMM backward without matching forward (col %d, need %d)",
+			len(c.col), bsz*ickk*ohow))
+	}
+	dx := tensor.New(bsz, c.InC, h, w)
+	wd := c.W.Data.Data
+	wg := c.W.Grad.Data
+
+	if c.hasBias {
+		for b := 0; b < bsz; b++ {
+			gb := grad.Data[b*c.OutC*ohow : (b+1)*c.OutC*ohow]
+			for oc := 0; oc < c.OutC; oc++ {
+				s := 0.0
+				for _, v := range gb[oc*ohow : (oc+1)*ohow] {
+					s += v
+				}
+				c.B.Grad.Data[oc] += s
+			}
+		}
+	}
+
+	tensor.ParallelFor(bsz, func(lo, hi int) {
+		dcol := tensor.Scratch.Get(ickk * ohow)
+		defer tensor.Scratch.Put(dcol)
+		for b := lo; b < hi; b++ {
+			gb := grad.Data[b*c.OutC*ohow : (b+1)*c.OutC*ohow]
+			tensor.MatMulTransAInto(dcol, wd, gb, c.OutC, ickk, ohow)
+			tensor.Col2ImAccInto(dx.Data[b*c.InC*h*w:(b+1)*c.InC*h*w], dcol, c.InC, h, w, k, st, pad)
+		}
+	})
+
+	tensor.ParallelFor(c.OutC, func(lo, hi int) {
+		for b := 0; b < bsz; b++ {
+			gb := grad.Data[b*c.OutC*ohow : (b+1)*c.OutC*ohow]
+			colB := c.col[b*ickk*ohow : (b+1)*ickk*ohow]
+			tensor.MatMulTransBAccRowsInto(wg, gb, colB, ohow, ickk, lo, hi)
+		}
+	})
+	return dx
+}
+
+// backwardDirect is the original direct-loop implementation.
+func (c *Conv2D) backwardDirect(grad *tensor.Tensor) *tensor.Tensor {
 	bsz := grad.Dim(0)
 	h, w, oh, ow := c.inH, c.inW, c.outH, c.outW
 	k, st, pad := c.Kernel, c.Stride, c.Pad
@@ -183,3 +387,36 @@ func (c *Conv2D) ForwardFLOPs(in []int) int64 {
 
 // Name identifies the layer kind.
 func (c *Conv2D) Name() string { return "conv2d" }
+
+// CollectConvs returns every Conv2D reachable inside the layer tree
+// (Sequential, BasicBlock, Model containers), mirroring CollectBatchNorms.
+func CollectConvs(l Layer) []*Conv2D {
+	var out []*Conv2D
+	switch v := l.(type) {
+	case *Conv2D:
+		out = append(out, v)
+	case *Sequential:
+		for _, sub := range v.Layers {
+			out = append(out, CollectConvs(sub)...)
+		}
+	case *BasicBlock:
+		out = append(out, v.Conv1, v.Conv2)
+		if v.DownConv != nil {
+			out = append(out, v.DownConv)
+		}
+	case *Model:
+		for _, a := range v.Atoms {
+			out = append(out, CollectConvs(a)...)
+		}
+	}
+	return out
+}
+
+// ReleaseScratch returns the cached im2col buffers of every convolution in
+// the layer tree to the shared arena. Safe to call on an idle model; the
+// buffers are reacquired lazily on the next Forward.
+func ReleaseScratch(l Layer) {
+	for _, c := range CollectConvs(l) {
+		c.ReleaseScratch()
+	}
+}

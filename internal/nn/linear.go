@@ -33,7 +33,7 @@ func NewLinear(in, out int, rng *rand.Rand) *Linear {
 // Forward computes x·Wᵀ + b.
 func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.x = x
-	out := tensor.MatMulTransB(x, l.W.Data) // (B,In)·(Out,In)ᵀ = (B,Out)
+	out := tensor.MatMulTransBPar(x, l.W.Data) // (B,In)·(Out,In)ᵀ = (B,Out)
 	bsz := x.Dim(0)
 	for i := 0; i < bsz; i++ {
 		row := out.Data[i*l.Out : (i+1)*l.Out]
@@ -47,7 +47,7 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward accumulates dW = gradᵀ·x, db = Σ grad, and returns grad·W.
 func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	// dW (Out,In) = gradᵀ (Out,B) · x (B,In)
-	dw := tensor.MatMulTransA(grad, l.x)
+	dw := tensor.MatMulTransAPar(grad, l.x)
 	l.W.Grad.AddInPlace(dw)
 
 	bsz := grad.Dim(0)
@@ -58,7 +58,7 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dX (B,In) = grad (B,Out) · W (Out,In)
-	return tensor.MatMul(grad, l.W.Data)
+	return tensor.MatMulPar(grad, l.W.Data)
 }
 
 // Params returns the weight and bias.

@@ -1,6 +1,8 @@
 package nn
 
 import (
+	"fmt"
+
 	"fedprophet/internal/tensor"
 )
 
@@ -20,6 +22,9 @@ func NewMaxPool2D(k int) *MaxPool2D { return &MaxPool2D{Kernel: k} }
 func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	bsz, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	k := m.Kernel
+	if h%k != 0 || w%k != 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D input %dx%d is not divisible by kernel %d; trailing rows/cols would be silently dropped", h, w, k))
+	}
 	oh, ow := h/k, w/k
 	m.inShape = append(m.inShape[:0], x.Shape()...)
 	out := tensor.New(bsz, c, oh, ow)

@@ -89,9 +89,10 @@ func (q Quantized) Dequantize() []float64 {
 	return out
 }
 
-// Bytes returns the wire size of the quantized vector including the scale
-// and header.
-func (q Quantized) Bytes() int { return len(q.Codes) + 8 /*scale*/ + 2 /*bits,n header*/ }
+// Bytes returns the wire size of the quantized vector including an honest
+// header: 1 byte for Bits, 4 bytes for N (a full 32-bit length — charging
+// less inflates CompressRatio), and 8 bytes for the float64 scale.
+func (q Quantized) Bytes() int { return len(q.Codes) + 1 /*bits*/ + 4 /*n*/ + 8 /*scale*/ }
 
 // MaxError returns the worst-case absolute reconstruction error, Scale/2.
 func (q Quantized) MaxError() float64 { return q.Scale / 2 }

@@ -71,11 +71,12 @@ func TestBytesAndCompressRatio(t *testing.T) {
 	if q8.Bytes() <= q4.Bytes() || q4.Bytes() <= q2.Bytes() {
 		t.Fatalf("bytes must grow with bits: %d %d %d", q2.Bytes(), q4.Bytes(), q8.Bytes())
 	}
-	// 4-bit packs two codes per byte: 800 codes ≈ 400 bytes + header.
-	if q4.Bytes() < 400 || q4.Bytes() > 420 {
-		t.Fatalf("4-bit size unexpected: %d", q4.Bytes())
+	// 4-bit packs two codes per byte: 800 codes = 400 bytes, plus the
+	// 13-byte header (1 bits + 4 n + 8 scale).
+	if got, want := q4.Bytes(), 400+13; got != want {
+		t.Fatalf("4-bit size = %d, want %d", got, want)
 	}
-	if q4.CompressRatio() < 7 { // ~3200/410
+	if q4.CompressRatio() < 7 { // 3200/413 ≈ 7.75
 		t.Fatalf("4-bit compression ratio too low: %v", q4.CompressRatio())
 	}
 }

@@ -1,0 +1,298 @@
+package tensor
+
+import "fmt"
+
+// Cache-blocked GEMM kernels and their goroutine-parallel wrappers.
+//
+// Every kernel applies the contributions of the shared dimension p in
+// strictly ascending order to each output element, exactly like the naive
+// loops in MatMul/MatMulTransA/MatMulTransB. Register tiling only changes
+// *which elements* are in flight together, never the per-element accumulation
+// order, so for finite inputs the tiled and parallel variants are
+// bit-identical to the naive ones — the property the convolution backend's
+// equivalence tests rely on. Parallelism partitions output rows into
+// contiguous chunks with disjoint writes, so results are also independent of
+// worker count and scheduling.
+//
+// The micro-kernels compute 4×4 output tiles in registers: 16 multiply-adds
+// per 8 loads instead of the naive loop's 1 per 3, which is what lets the
+// single-threaded GEMM beat the direct convolution loops even on one core.
+// Column tiles are the outer loop so the active 4-column B panel (k×4) stays
+// L1-resident while A streams through.
+
+// parFLOPs is the approximate multiply-add count below which spawning
+// workers costs more than it saves.
+const parFLOPs = 1 << 15
+
+// MatMulRowsInto computes rows [i0, i1) of dst = A·B for row-major
+// a (≥i1×k), b (k×n), dst (≥i1×n), overwriting those dst rows.
+func MatMulRowsInto(dst, a, b []float64, k, n, i0, i1 int) {
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		i := i0
+		for ; i+4 <= i1; i += 4 {
+			a0 := a[(i+0)*k : (i+1)*k]
+			a1 := a[(i+1)*k : (i+2)*k]
+			a2 := a[(i+2)*k : (i+3)*k]
+			a3 := a[(i+3)*k : (i+4)*k]
+			var c00, c01, c02, c03 float64
+			var c10, c11, c12, c13 float64
+			var c20, c21, c22, c23 float64
+			var c30, c31, c32, c33 float64
+			for p := 0; p < k; p++ {
+				bp := b[p*n+j : p*n+j+4 : p*n+j+4]
+				b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+				v := a0[p]
+				c00 += v * b0
+				c01 += v * b1
+				c02 += v * b2
+				c03 += v * b3
+				v = a1[p]
+				c10 += v * b0
+				c11 += v * b1
+				c12 += v * b2
+				c13 += v * b3
+				v = a2[p]
+				c20 += v * b0
+				c21 += v * b1
+				c22 += v * b2
+				c23 += v * b3
+				v = a3[p]
+				c30 += v * b0
+				c31 += v * b1
+				c32 += v * b2
+				c33 += v * b3
+			}
+			d0 := dst[(i+0)*n+j : (i+0)*n+j+4 : (i+0)*n+j+4]
+			d0[0], d0[1], d0[2], d0[3] = c00, c01, c02, c03
+			d1 := dst[(i+1)*n+j : (i+1)*n+j+4 : (i+1)*n+j+4]
+			d1[0], d1[1], d1[2], d1[3] = c10, c11, c12, c13
+			d2 := dst[(i+2)*n+j : (i+2)*n+j+4 : (i+2)*n+j+4]
+			d2[0], d2[1], d2[2], d2[3] = c20, c21, c22, c23
+			d3 := dst[(i+3)*n+j : (i+3)*n+j+4 : (i+3)*n+j+4]
+			d3[0], d3[1], d3[2], d3[3] = c30, c31, c32, c33
+		}
+		for ; i < i1; i++ {
+			arow := a[i*k : (i+1)*k]
+			var c0, c1, c2, c3 float64
+			for p, v := range arow {
+				bp := b[p*n+j : p*n+j+4 : p*n+j+4]
+				c0 += v * bp[0]
+				c1 += v * bp[1]
+				c2 += v * bp[2]
+				c3 += v * bp[3]
+			}
+			d := dst[i*n+j : i*n+j+4 : i*n+j+4]
+			d[0], d[1], d[2], d[3] = c0, c1, c2, c3
+		}
+	}
+	for ; j < n; j++ {
+		for i := i0; i < i1; i++ {
+			arow := a[i*k : (i+1)*k]
+			s := 0.0
+			for p, v := range arow {
+				s += v * b[p*n+j]
+			}
+			dst[i*n+j] = s
+		}
+	}
+}
+
+// MatMulInto computes dst = A·B for row-major a (m×k), b (k×n), dst (m×n).
+func MatMulInto(dst, a, b []float64, m, k, n int) {
+	MatMulRowsInto(dst, a, b, k, n, 0, m)
+}
+
+// MatMulTransARowsInto computes rows [i0, i1) of dst = Aᵀ·B for row-major
+// a (kk×m), b (kk×n), dst (m×n), overwriting those dst rows. Rows of dst
+// correspond to columns of a; both tile loads are contiguous.
+func MatMulTransARowsInto(dst, a, b []float64, kk, m, n, i0, i1 int) {
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		i := i0
+		for ; i+4 <= i1; i += 4 {
+			var c00, c01, c02, c03 float64
+			var c10, c11, c12, c13 float64
+			var c20, c21, c22, c23 float64
+			var c30, c31, c32, c33 float64
+			for p := 0; p < kk; p++ {
+				ap := a[p*m+i : p*m+i+4 : p*m+i+4]
+				bp := b[p*n+j : p*n+j+4 : p*n+j+4]
+				b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+				v := ap[0]
+				c00 += v * b0
+				c01 += v * b1
+				c02 += v * b2
+				c03 += v * b3
+				v = ap[1]
+				c10 += v * b0
+				c11 += v * b1
+				c12 += v * b2
+				c13 += v * b3
+				v = ap[2]
+				c20 += v * b0
+				c21 += v * b1
+				c22 += v * b2
+				c23 += v * b3
+				v = ap[3]
+				c30 += v * b0
+				c31 += v * b1
+				c32 += v * b2
+				c33 += v * b3
+			}
+			d0 := dst[(i+0)*n+j : (i+0)*n+j+4 : (i+0)*n+j+4]
+			d0[0], d0[1], d0[2], d0[3] = c00, c01, c02, c03
+			d1 := dst[(i+1)*n+j : (i+1)*n+j+4 : (i+1)*n+j+4]
+			d1[0], d1[1], d1[2], d1[3] = c10, c11, c12, c13
+			d2 := dst[(i+2)*n+j : (i+2)*n+j+4 : (i+2)*n+j+4]
+			d2[0], d2[1], d2[2], d2[3] = c20, c21, c22, c23
+			d3 := dst[(i+3)*n+j : (i+3)*n+j+4 : (i+3)*n+j+4]
+			d3[0], d3[1], d3[2], d3[3] = c30, c31, c32, c33
+		}
+		for ; i < i1; i++ {
+			var c0, c1, c2, c3 float64
+			for p := 0; p < kk; p++ {
+				v := a[p*m+i]
+				bp := b[p*n+j : p*n+j+4 : p*n+j+4]
+				c0 += v * bp[0]
+				c1 += v * bp[1]
+				c2 += v * bp[2]
+				c3 += v * bp[3]
+			}
+			d := dst[i*n+j : i*n+j+4 : i*n+j+4]
+			d[0], d[1], d[2], d[3] = c0, c1, c2, c3
+		}
+	}
+	for ; j < n; j++ {
+		for i := i0; i < i1; i++ {
+			s := 0.0
+			for p := 0; p < kk; p++ {
+				s += a[p*m+i] * b[p*n+j]
+			}
+			dst[i*n+j] = s
+		}
+	}
+}
+
+// MatMulTransAInto computes dst = Aᵀ·B for a (kk×m), b (kk×n), dst (m×n).
+func MatMulTransAInto(dst, a, b []float64, kk, m, n int) {
+	MatMulTransARowsInto(dst, a, b, kk, m, n, 0, m)
+}
+
+// MatMulTransBAccRowsInto accumulates rows [i0, i1) of dst += A·Bᵀ for
+// row-major a (≥i1×k), b (n×k), dst (≥i1×n). Each dst element receives one
+// fully-reduced dot product, so repeated calls (e.g. once per image of a
+// batch) accumulate in caller-controlled order.
+func MatMulTransBAccRowsInto(dst, a, b []float64, k, n, i0, i1 int) {
+	i := i0
+	for ; i+2 <= i1; i += 2 {
+		a0 := a[(i+0)*k : (i+1)*k]
+		a1 := a[(i+1)*k : (i+2)*k]
+		j := 0
+		for ; j+2 <= n; j += 2 {
+			b0 := b[(j+0)*k : (j+1)*k]
+			b1 := b[(j+1)*k : (j+2)*k]
+			var c00, c01, c10, c11 float64
+			for p, v0 := range a0 {
+				v1 := a1[p]
+				w0, w1 := b0[p], b1[p]
+				c00 += v0 * w0
+				c01 += v0 * w1
+				c10 += v1 * w0
+				c11 += v1 * w1
+			}
+			dst[(i+0)*n+j] += c00
+			dst[(i+0)*n+j+1] += c01
+			dst[(i+1)*n+j] += c10
+			dst[(i+1)*n+j+1] += c11
+		}
+		for ; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			var c0, c1 float64
+			for p, v0 := range a0 {
+				c0 += v0 * brow[p]
+				c1 += a1[p] * brow[p]
+			}
+			dst[(i+0)*n+j] += c0
+			dst[(i+1)*n+j] += c1
+		}
+	}
+	for ; i < i1; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := dst[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			orow[j] += s
+		}
+	}
+}
+
+func check2D(a, b *Tensor, op string) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s requires 2-D tensors, got %v and %v", op, a.shape, b.shape))
+	}
+}
+
+// MatMulPar computes A·B like MatMul, parallelizing over output row blocks
+// on the package worker pool. Bit-identical to MatMul for finite inputs.
+func MatMulPar(a, b *Tensor) *Tensor {
+	check2D(a, b, "MatMulPar")
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulPar shape mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	if m*k*n < parFLOPs {
+		MatMulInto(out.Data, a.Data, b.Data, m, k, n)
+		return out
+	}
+	ParallelFor(m, func(lo, hi int) {
+		MatMulRowsInto(out.Data, a.Data, b.Data, k, n, lo, hi)
+	})
+	return out
+}
+
+// MatMulTransAPar computes Aᵀ·B like MatMulTransA, parallelizing over output
+// row blocks. Bit-identical to MatMulTransA for finite inputs.
+func MatMulTransAPar(a, b *Tensor) *Tensor {
+	check2D(a, b, "MatMulTransAPar")
+	kk, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if kk != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransAPar shape mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	if m*kk*n < parFLOPs {
+		MatMulTransAInto(out.Data, a.Data, b.Data, kk, m, n)
+		return out
+	}
+	ParallelFor(m, func(lo, hi int) {
+		MatMulTransARowsInto(out.Data, a.Data, b.Data, kk, m, n, lo, hi)
+	})
+	return out
+}
+
+// MatMulTransBPar computes A·Bᵀ like MatMulTransB, parallelizing over output
+// row blocks. Bit-identical to MatMulTransB for finite inputs.
+func MatMulTransBPar(a, b *Tensor) *Tensor {
+	check2D(a, b, "MatMulTransBPar")
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransBPar shape mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	if m*k*n < parFLOPs {
+		MatMulTransBAccRowsInto(out.Data, a.Data, b.Data, k, n, 0, m)
+		return out
+	}
+	ParallelFor(m, func(lo, hi int) {
+		MatMulTransBAccRowsInto(out.Data, a.Data, b.Data, k, n, lo, hi)
+	})
+	return out
+}

@@ -1,0 +1,18 @@
+package tensor
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// The package's parallelism claims are scheduling-independence claims; give
+// the test binary real concurrency even on single-CPU CI so the worker pool,
+// the unbuffered handoff, and the bit-identity assertions are exercised for
+// real rather than degenerating to the inline path.
+func TestMain(m *testing.M) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+	os.Exit(m.Run())
+}

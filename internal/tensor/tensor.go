@@ -418,8 +418,8 @@ func (t *Tensor) ProjectLInfBall(eps float64) *Tensor {
 }
 
 func mustMatch(a, b *Tensor, op string) {
-	if len(a.Data) != len(b.Data) {
-		panic(fmt.Sprintf("tensor: %s size mismatch %v vs %v", op, a.shape, b.shape))
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
 	}
 }
 

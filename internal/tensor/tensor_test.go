@@ -281,3 +281,29 @@ func TestRandnDeterministicBySeed(t *testing.T) {
 		}
 	}
 }
+
+// Same element count but different shapes must be rejected: (2,3)+(3,2) was
+// silently accepted when mustMatch only compared lengths.
+func TestElementwiseOpsRejectShapeMismatch(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 3, 2)
+	for name, f := range map[string]func(){
+		"Add":         func() { Add(a, b) },
+		"Sub":         func() { Sub(a, b) },
+		"Mul":         func() { Mul(a, b) },
+		"Dot":         func() { Dot(a, b) },
+		"AddInPlace":  func() { a.Clone().AddInPlace(b) },
+		"SubInPlace":  func() { a.Clone().SubInPlace(b) },
+		"MulInPlace":  func() { a.Clone().MulInPlace(b) },
+		"AxpyInPlace": func() { a.Clone().AxpyInPlace(2, b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s must panic on shape mismatch (2,3) vs (3,2)", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

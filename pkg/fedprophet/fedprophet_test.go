@@ -3,6 +3,7 @@ package fedprophet_test
 import (
 	"context"
 	"errors"
+	"math"
 	"testing"
 	"time"
 
@@ -255,5 +256,73 @@ func TestFedProphetHonorsAttackOptions(t *testing.T) {
 	}
 	if noatk := run(fedprophet.WithAttack(fedprophet.NoAttack{})); noatk.History[0].PerDimPert != 0 {
 		t.Fatalf("WithAttack(NoAttack) must disable module-0 perturbation, got %v", noatk.History[0].PerDimPert)
+	}
+}
+
+// The conv-backend contract: a seeded end-to-end run produces the same
+// RoundMetrics under the GEMM fast path and the direct reference loops, and
+// each backend is bit-identical at client parallelism 1 vs 4. Forward
+// activations and weight gradients are bit-equal between backends; the input
+// gradient reduces over output channels in a different order, so cross-
+// backend telemetry is compared to 1e-9 while within-backend parallelism is
+// compared exactly.
+func TestConvBackendsMatchEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	defer func() {
+		if err := fedprophet.SetConvBackend("gemm"); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	run := func(backend string, par int) *fedprophet.Result {
+		if err := fedprophet.SetConvBackend(backend); err != nil {
+			t.Fatal(err)
+		}
+		res, err := fedprophet.Run(context.Background(), append(fastOpts("jFAT"),
+			fedprophet.WithRounds(2),
+			fedprophet.WithClientParallelism(par),
+		)...)
+		if err != nil {
+			t.Fatalf("%s par=%d: %v", backend, par, err)
+		}
+		return res
+	}
+	gemm := run("gemm", 1)
+	gemmPar := run("gemm", 4)
+	direct := run("direct", 1)
+	directPar := run("direct", 4)
+
+	for name, pair := range map[string][2]*fedprophet.Result{
+		"gemm":   {gemm, gemmPar},
+		"direct": {direct, directPar},
+	} {
+		seq, par := pair[0], pair[1]
+		if seq.CleanAcc != par.CleanAcc || seq.PGDAcc != par.PGDAcc {
+			t.Fatalf("%s: parallelism changed results: %v/%v vs %v/%v",
+				name, seq.CleanAcc, seq.PGDAcc, par.CleanAcc, par.PGDAcc)
+		}
+		for i := range seq.History {
+			if seq.History[i] != par.History[i] {
+				t.Fatalf("%s: round %d telemetry diverges at par 4", name, i)
+			}
+		}
+	}
+
+	if len(gemm.History) != len(direct.History) {
+		t.Fatalf("backends produced different round counts: %d vs %d",
+			len(gemm.History), len(direct.History))
+	}
+	closeEnough := func(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)) }
+	for i := range gemm.History {
+		g, d := gemm.History[i], direct.History[i]
+		if g.Round != d.Round || g.Module != d.Module || g.Latency != d.Latency ||
+			!closeEnough(g.Loss, d.Loss) || !closeEnough(g.PerDimPert, d.PerDimPert) {
+			t.Fatalf("round %d telemetry diverges across backends:\ngemm   %+v\ndirect %+v", i, g, d)
+		}
+	}
+	if !closeEnough(gemm.CleanAcc, direct.CleanAcc) || !closeEnough(gemm.PGDAcc, direct.PGDAcc) {
+		t.Fatalf("final accuracies diverge across backends: %v/%v vs %v/%v",
+			gemm.CleanAcc, gemm.PGDAcc, direct.CleanAcc, direct.PGDAcc)
 	}
 }
