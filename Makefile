@@ -1,15 +1,18 @@
 # Build, verify and benchmark the FedProphet reproduction.
 #
-#   make ci      - everything the tier-1 gate runs: build, vet, test, race
+#   make ci      - everything the tier-1 gate runs: build, vet, test, race, docs links
 #   make bench   - repository benchmarks (paper tables/figures) with -benchmem
 #   make bench-parallel - client-parallelism wall-clock benchmark
 #   make bench-conv     - direct vs GEMM convolution backend benchmark
 #   make bench-json     - record the conv-backend baseline to BENCH_conv.json
+#   make bench-wire     - record the wire-protocol baseline to BENCH_wire.json
+#                         (bytes/round + round latency at raw/8/4/2 bits)
+#   make check-docs     - fail on dead relative links in README/docs
 #   make cover   - tests with coverage summary
 
 GO ?= go
 
-.PHONY: all build vet test test-race ci bench bench-parallel bench-conv bench-json cover clean
+.PHONY: all build vet test test-race check-docs ci bench bench-parallel bench-conv bench-json bench-wire cover clean
 
 all: ci
 
@@ -23,12 +26,16 @@ test:
 	$(GO) test ./...
 
 # The concurrency-bearing packages (tensor worker pool + scratch arena,
-# parallel GEMM convolutions, client-parallel training) under the race
-# detector.
+# parallel GEMM convolutions, client-parallel training, the HTTP transport
+# with concurrent compressed/raw clients) under the race detector.
 test-race:
-	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/fl/...
+	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/fl/... ./internal/fldist/...
 
-ci: build vet test test-race
+# Dead relative links in the markdown docs fail the build.
+check-docs:
+	$(GO) run ./cmd/checkdocs README.md ROADMAP.md docs
+
+ci: build vet test test-race check-docs
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
@@ -41,6 +48,9 @@ bench-conv:
 
 bench-json:
 	$(GO) run ./cmd/benchconv -out BENCH_conv.json
+
+bench-wire:
+	$(GO) run ./cmd/benchwire -out BENCH_wire.json
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,183 @@
+// Command benchwire measures the compressed delta wire protocol end to end:
+// it runs the real HTTP parameter server and a small client fleet through
+// synchronous federated rounds at each bit width, reads the server's
+// /stats byte counters, and records bytes-per-round and wall-clock round
+// latency to a JSON baseline.
+//
+//	go run ./cmd/benchwire -out BENCH_wire.json
+//
+// The headline figure is reduction_vs_raw at 8 bits: how many times fewer
+// model-plane bytes (pulls + pushes, all clients) one round costs under the
+// compressed codec than under the raw gob protocol, on the same seed model
+// and workload.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"fedprophet/internal/data"
+	"fedprophet/internal/fl"
+	"fedprophet/internal/fldist"
+	"fedprophet/internal/nn"
+)
+
+// result is one bit-width's measurement.
+type result struct {
+	Bits            string  `json:"bits"` // "raw", "8", "4", "2"
+	Chunk           int     `json:"chunk,omitempty"`
+	BytesPerRound   int64   `json:"bytes_per_round"`
+	BytesIn         int64   `json:"bytes_in"`
+	BytesOut        int64   `json:"bytes_out"`
+	RoundLatencyMS  float64 `json:"round_latency_ms"`
+	ReductionVsRaw  float64 `json:"reduction_vs_raw"`
+	RoundsCompleted int     `json:"rounds_completed"`
+}
+
+type report struct {
+	Model         string   `json:"model"`
+	Params        int      `json:"params"`
+	BNStats       int      `json:"bn_stats"`
+	Clients       int      `json:"clients"`
+	Rounds        int      `json:"rounds"`
+	Chunk         int      `json:"chunk"`
+	GeneratedKind string   `json:"workload"`
+	Results       []result `json:"results"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_wire.json", "output JSON path")
+		clients = flag.Int("clients", 3, "client fleet size (= aggregation quorum)")
+		rounds  = flag.Int("rounds", 3, "synchronous rounds per setting")
+		chunk   = flag.Int("chunk", 0, "values per quantization scale (0 = default 256)")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *clients < 1 || *rounds < 1 {
+		log.Fatalf("benchwire: -clients (%d) and -rounds (%d) must be ≥ 1", *clients, *rounds)
+	}
+
+	build := func() *nn.Model {
+		return nn.CNN3([]int{3, 16, 16}, 10, 4, rand.New(rand.NewSource(*seed)))
+	}
+	train, _ := data.Generate(data.CIFAR10SConfig(40, 10, *seed))
+	subs := data.PartitionNonIID(train, data.DefaultPartition(*clients, *seed))
+	m := build()
+
+	rep := report{
+		Model:         m.Label,
+		Params:        nn.NumParams(m),
+		BNStats:       len(nn.ExportBNStats(m)),
+		Clients:       *clients,
+		Rounds:        *rounds,
+		Chunk:         *chunk,
+		GeneratedKind: "CIFAR10-S 40/class",
+	}
+	log.Printf("benchwire: %s, %d params + %d bn stats, %d clients, %d rounds/setting",
+		rep.Model, rep.Params, rep.BNStats, *clients, *rounds)
+
+	var rawBytes int64
+	for _, bits := range []int{0, 8, 4, 2} {
+		r := runSetting(build, subs, *clients, *rounds, bits, *chunk, *seed)
+		if bits == 0 {
+			rawBytes = r.BytesPerRound
+			r.ReductionVsRaw = 1
+		} else if r.BytesPerRound > 0 {
+			r.ReductionVsRaw = float64(rawBytes) / float64(r.BytesPerRound)
+		}
+		log.Printf("  bits=%-3s bytes/round=%-8d latency/round=%.1fms reduction=%.2fx",
+			r.Bits, r.BytesPerRound, r.RoundLatencyMS, r.ReductionVsRaw)
+		rep.Results = append(rep.Results, r)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}
+
+// runSetting federates `rounds` synchronous rounds over real HTTP at one
+// bit width (0 = raw gob) and returns the measured traffic and latency.
+func runSetting(build func() *nn.Model, subs []*data.Subset, clients, rounds, bits, chunk int, seed int64) result {
+	m := build()
+	srv := fldist.NewServer(nn.ExportParams(m), nn.ExportBNStats(m), clients)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+
+	cfg := fl.DefaultConfig()
+	cfg.LocalIters = 4
+	cfg.Batch = 16
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := &fldist.Client{
+				ID:      id,
+				BaseURL: "http://" + ln.Addr().String(),
+				HTTP:    &http.Client{Timeout: 30 * time.Second},
+				Model:   build(),
+				Subset:  subs[id],
+				Cfg:     cfg,
+				Rng:     rand.New(rand.NewSource(seed + int64(id))),
+			}
+			if bits != 0 {
+				c.Compression = &fldist.Compression{Bits: bits, Chunk: chunk}
+			}
+			errs[id] = c.RunRounds(ctx, rounds, 0.05)
+		}(id)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for id, err := range errs {
+		if err != nil {
+			log.Fatalf("client %d: %v", id, err)
+		}
+	}
+	st := srv.Stats()
+	cancel()
+	<-done
+
+	label := "raw"
+	if bits != 0 {
+		label = fmt.Sprintf("%d", bits)
+	}
+	in := st.BytesInRaw + st.BytesInCompressed
+	outB := st.BytesOutRaw + st.BytesOutCompressed
+	return result{
+		Bits:            label,
+		Chunk:           chunk,
+		BytesPerRound:   (in + outB) / int64(st.RoundsCompleted),
+		BytesIn:         in,
+		BytesOut:        outB,
+		RoundLatencyMS:  float64(elapsed.Milliseconds()) / float64(st.RoundsCompleted),
+		RoundsCompleted: st.RoundsCompleted,
+	}
+}

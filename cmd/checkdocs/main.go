@@ -1,0 +1,88 @@
+// Command checkdocs verifies the repository's markdown cross-references:
+// every relative link target in the given files (or in every .md file under
+// the given directories) must exist on disk. External links (http, https,
+// mailto) and pure in-page anchors are skipped; anchors on relative links
+// are stripped before the existence check. Dead links are listed and the
+// command exits non-zero, which is how `make check-docs` (part of `make ci`)
+// fails the build on documentation rot.
+//
+//	go run ./cmd/checkdocs README.md ROADMAP.md docs
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target). Reference-style
+// links are rare in this repository and intentionally not handled.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: checkdocs <file-or-dir>...")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range os.Args[1:] {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkdocs: %v\n", err)
+			os.Exit(2)
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkdocs: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	dead := 0
+	for _, file := range files {
+		body, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkdocs: %v\n", err)
+			os.Exit(2)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			// Strip an in-file anchor: docs/WIRE.md#header → docs/WIRE.md.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Printf("%s: dead link %q (resolved %s)\n", file, m[1], resolved)
+				dead++
+			}
+		}
+	}
+	if dead > 0 {
+		fmt.Printf("checkdocs: %d dead link(s) in %d file(s)\n", dead, len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("checkdocs: %d file(s), all relative links resolve\n", len(files))
+}

@@ -12,6 +12,12 @@
 //	fldist -connect http://localhost:8080 -client 0 -clients 3 -rounds 5
 //	fldist -connect http://localhost:8080 -client 1 -clients 3 -rounds 5
 //	fldist -connect http://localhost:8080 -client 2 -clients 3 -rounds 5
+//
+// Passing -bits (2..8) on a client switches it to the compressed delta wire
+// protocol of docs/WIRE.md: quantized pulls and error-fed quantized delta
+// pushes, negotiated per client, with -chunk values per quantization scale.
+// The server accepts compressed and raw clients in the same round and
+// reports bytes-on-wire on GET /stats (and in its shutdown log line).
 package main
 
 import (
@@ -43,6 +49,8 @@ func main() {
 		rounds   = flag.Int("rounds", 5, "rounds to participate in")
 		pgd      = flag.Int("pgd", 3, "PGD steps for adversarial training (0 = standard)")
 		seed     = flag.Int64("seed", 1, "random seed (must match across processes)")
+		bits     = flag.Int("bits", 0, "compressed delta wire protocol bit width, 2..8 (0 = raw gob)")
+		chunk    = flag.Int("chunk", 0, "values per quantization scale (0 = default 256)")
 	)
 	flag.Parse()
 
@@ -62,7 +70,11 @@ func main() {
 		if err := srv.ListenAndServe(ctx, *addr); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("parameter server shut down after %d completed rounds", srv.RoundsCompleted())
+		st := srv.Stats()
+		log.Printf("parameter server shut down after %d completed rounds", st.RoundsCompleted)
+		log.Printf("wire traffic: in %d B raw + %d B compressed, out %d B raw + %d B compressed (%d raw / %d compressed updates)",
+			st.BytesInRaw, st.BytesInCompressed, st.BytesOutRaw, st.BytesOutCompressed,
+			st.UpdatesRaw, st.UpdatesCompressed)
 
 	case *connect != "":
 		cfg := fl.DefaultConfig()
@@ -83,8 +95,13 @@ func main() {
 			Rng:      rand.New(rand.NewSource(*seed + int64(*clientID))),
 			PGDSteps: *pgd,
 		}
-		log.Printf("client %d: %d local samples, PGD-%d, %d rounds",
-			*clientID, subs[*clientID].Len(), *pgd, *rounds)
+		wire := "raw gob"
+		if *bits != 0 {
+			c.Compression = &fldist.Compression{Bits: *bits, Chunk: *chunk}
+			wire = fmt.Sprintf("%d-bit error-fed deltas", *bits)
+		}
+		log.Printf("client %d: %d local samples, PGD-%d, %d rounds, wire: %s",
+			*clientID, subs[*clientID].Len(), *pgd, *rounds, wire)
 		if err := c.RunRounds(ctx, *rounds, 0.04); err != nil {
 			log.Fatal(err)
 		}

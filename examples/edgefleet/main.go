@@ -17,8 +17,10 @@ import (
 	"fedprophet/internal/cascade"
 	"fedprophet/internal/core"
 	"fedprophet/internal/device"
+	"fedprophet/internal/fldist"
 	"fedprophet/internal/memmodel"
 	"fedprophet/internal/nn"
+	"fedprophet/internal/quant"
 	"fedprophet/internal/simlat"
 )
 
@@ -53,9 +55,18 @@ func main() {
 			}
 		}
 		var withDMA, noSwap []simlat.Latency
+		var rawWire, wire8, wire4 int64
 		for c, snap := range snaps {
 			budget := cal.Budget(snap.AvailMemGB)
 			to := core.AssignModules(casc, 0, budget, snap.AvailPerf, perfMin, true)
+
+			// Wire traffic this client causes in one round: pull + push of
+			// its assigned module range, raw float64 vs the compressed
+			// delta codec at 8 and 4 bits (docs/WIRE.md).
+			vec := rangeParams(casc, 0, to)
+			rawWire += int64(2 * 8 * len(vec))
+			wire8 += int64(2 * quant.QuantizeChunks(vec, 8, fldist.DefaultChunk).Bytes())
+			wire4 += int64(2 * quant.QuantizeChunks(vec, 4, fldist.DefaultChunk).Bytes())
 			fwd := casc.RangeForwardFLOPs(0, to)
 			flops := 8 * memmodel.TrainingFLOPs(fwd, 8, 10)
 			lat := simlat.ClientLatency(simlat.Work{
@@ -79,5 +90,22 @@ func main() {
 		rj := simlat.RoundLatency(noSwap)
 		fmt.Printf("  round latency: FedProphet %.3fs vs jFAT %.3fs (%.1fx speedup)\n",
 			rp.Total(), rj.Total(), rj.Total()/rp.Total())
+		fmt.Printf("  round wire bytes (pull+push, all clients): raw %.1f KB, 8-bit %.1f KB (%.1fx), 4-bit %.1f KB (%.1fx)\n",
+			float64(rawWire)/1024,
+			float64(wire8)/1024, float64(rawWire)/float64(wire8),
+			float64(wire4)/1024, float64(rawWire)/float64(wire4))
 	}
+}
+
+// rangeParams concatenates the parameter vectors of cascade modules
+// from..to inclusive — the payload a client assigned that range would move
+// per round.
+func rangeParams(casc *cascade.Cascade, from, to int) []float64 {
+	var vec []float64
+	for m := from; m <= to; m++ {
+		for _, atom := range casc.Modules[m].Atoms {
+			vec = append(vec, nn.ExportParams(atom)...)
+		}
+	}
+	return vec
 }

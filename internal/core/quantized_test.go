@@ -41,6 +41,43 @@ func TestFedProphetQuantizedUploads(t *testing.T) {
 	}
 }
 
+// Chunked upload quantization (the wire codec's form) must deliver the same
+// order of communication saving as whole-vector quantization and keep
+// training intact.
+func TestFedProphetChunkedUploads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	mk := func(bits, chunk int) Options {
+		opts := DefaultOptions(microBuild)
+		opts.RoundsPerModule = 3
+		opts.Patience = 3
+		opts.FeaturePGDSteps = 2
+		opts.ValSize = 16
+		opts.ValPGD = 2
+		opts.UploadBits = bits
+		opts.UploadChunk = chunk
+		return opts
+	}
+
+	full := mustRun(t, New(mk(0, 0)), microEnv(t, 37))
+	q4 := mustRun(t, New(mk(4, 64)), microEnv(t, 37))
+
+	cFull := full.Extra["comm_up_bytes"]
+	cQ4 := q4.Extra["comm_up_bytes"]
+	if cFull <= 0 || cQ4 <= 0 {
+		t.Fatalf("communication accounting missing: %v %v", cFull, cQ4)
+	}
+	// 4-bit codes vs 4-byte floats: well over 4x even charging per-chunk
+	// scales.
+	if cQ4 >= cFull/4 {
+		t.Fatalf("chunked 4-bit uploads should cut traffic ≥4x: %v vs %v", cQ4, cFull)
+	}
+	if q4.CleanAcc < full.CleanAcc-0.25 {
+		t.Fatalf("chunked 4-bit quantization destroyed training: %v vs %v", q4.CleanAcc, full.CleanAcc)
+	}
+}
+
 func TestCommBytesGrowWithRounds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration test")

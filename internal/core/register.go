@@ -43,6 +43,7 @@ func OptionsFromParams(p fl.MethodParams) Options {
 	o.UseAPA = p.UseAPA
 	o.UseDMA = p.UseDMA
 	o.UploadBits = p.UploadBits
+	o.UploadChunk = p.UploadChunk
 	return o
 }
 

@@ -40,6 +40,10 @@ type MethodParams struct {
 	ValSize         int
 	ValPGD          int
 	UploadBits      int
+	// UploadChunk, when > 0, switches upload quantization from one scale
+	// per vector to one scale per chunk of UploadChunk values (the wire
+	// codec's form; see internal/quant.QuantizeChunks).
+	UploadChunk int
 }
 
 // MethodFactory instantiates a Method for one workload's parameters.

@@ -14,6 +14,7 @@ import (
 	"fedprophet/internal/data"
 	"fedprophet/internal/fl"
 	"fedprophet/internal/nn"
+	"fedprophet/internal/quant"
 )
 
 // Client is one federated participant talking to a parameter Server over
@@ -28,15 +29,53 @@ type Client struct {
 	Cfg      fl.Config
 	Rng      *rand.Rand
 	PGDSteps int // 0 = standard training
+
+	// Compression, when non-nil, requests the compressed delta wire
+	// protocol: Pull asks for a chunk-quantized global model and Push sends
+	// quantized deltas against the pulled base with error feedback. If the
+	// server does not echo the codec negotiation header, the client falls
+	// back to the raw gob protocol transparently.
+	Compression *Compression
+
+	// negotiated reports whether the last Pull established the compressed
+	// protocol with the server.
+	negotiated bool
+	// baseParams/baseBN are the exact (dequantized) global values the last
+	// compressed Pull delivered — the base the next Push's delta is taken
+	// against, and the base the server will reconstruct with.
+	baseParams, baseBN []float64
+	// errParams carries the quantization residual of the previous
+	// compressed Push into the next round's parameter delta (error
+	// feedback), so per-round compression error stays bounded instead of
+	// accumulating in the global model. BN statistics travel raw and need
+	// no residual.
+	errParams []float64
+	// residualRound is 1 + the round whose push last committed the
+	// residual, so a redundant re-push of an already-acknowledged round
+	// cannot advance the feedback state twice. 0 means none committed.
+	residualRound int
 }
 
 // Pull fetches the current global model and loads it into the local replica.
 // It returns the server round the blob belongs to. Canceling ctx aborts the
-// request.
+// request. With Compression set, Pull negotiates the compressed protocol:
+// it requests a chunk-quantized model, remembers the exact dequantized base
+// for the next Push's delta, and falls back to the raw gob protocol if the
+// server does not acknowledge the codec.
 func (c *Client) Pull(ctx context.Context) (int, error) {
+	var comp Compression
+	if c.Compression != nil {
+		var err error
+		if comp, err = c.Compression.normalize(); err != nil {
+			return 0, err
+		}
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/model", nil)
 	if err != nil {
 		return 0, fmt.Errorf("fldist: pull: %w", err)
+	}
+	if c.Compression != nil {
+		req.Header.Set(codecHeader, codecValue(comp))
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
@@ -47,15 +86,53 @@ func (c *Client) Pull(ctx context.Context) (int, error) {
 		body, _ := io.ReadAll(resp.Body)
 		return 0, fmt.Errorf("fldist: pull: %s: %s", resp.Status, body)
 	}
+	if resp.Header.Get("Content-Type") == contentTypeModel {
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return 0, fmt.Errorf("fldist: pull: %w", err)
+		}
+		round, pf, bf, err := decodeModelEnvelope(body)
+		if err != nil {
+			return 0, fmt.Errorf("fldist: pull: %w", err)
+		}
+		if err := c.checkModelShape(pf.Len(), bf.Len()); err != nil {
+			return 0, err
+		}
+		c.negotiated = true
+		c.baseParams = pf.Vector()
+		c.baseBN = bf.Vector()
+		nn.ImportParams(c.Model, c.baseParams)
+		if len(c.baseBN) > 0 {
+			nn.ImportBNStats(c.Model, c.baseBN)
+		}
+		return round, nil
+	}
 	var blob ModelBlob
 	if err := gob.NewDecoder(resp.Body).Decode(&blob); err != nil {
 		return 0, fmt.Errorf("fldist: decoding model: %w", err)
 	}
+	if err := c.checkModelShape(len(blob.Params), len(blob.BN)); err != nil {
+		return 0, err
+	}
+	c.negotiated = false
 	nn.ImportParams(c.Model, blob.Params)
 	if len(blob.BN) > 0 {
 		nn.ImportBNStats(c.Model, blob.BN)
 	}
 	return blob.Round, nil
+}
+
+// checkModelShape rejects a pulled model whose vector lengths do not match
+// the local replica — a server seeded with a different architecture — as an
+// error instead of letting nn.ImportParams panic the client process.
+func (c *Client) checkModelShape(nParams, nBN int) error {
+	wantP := len(nn.ExportParams(c.Model))
+	wantB := len(nn.ExportBNStats(c.Model))
+	if nParams != wantP || nBN != wantB {
+		return fmt.Errorf("fldist: pull: server model shape %d params + %d bn stats, local replica has %d + %d",
+			nParams, nBN, wantP, wantB)
+	}
+	return nil
 }
 
 // TrainLocal runs the configured number of local (adversarial) SGD
@@ -100,6 +177,9 @@ func (c *Client) TrainLocal(lr float64) float64 {
 // (client, round): the server counts only the first copy, so retrying after
 // a lost response is safe — the retry just reports counted=false.
 func (c *Client) Push(ctx context.Context, round int) (counted bool, err error) {
+	if c.Compression != nil && c.negotiated {
+		return c.pushDelta(ctx, round)
+	}
 	u := Update{
 		ClientID: c.ID,
 		Round:    round,
@@ -111,11 +191,83 @@ func (c *Client) Push(ctx context.Context, round int) (counted bool, err error) 
 	if err := gob.NewEncoder(&buf).Encode(u); err != nil {
 		return false, fmt.Errorf("fldist: encoding update: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/update", &buf)
+	return c.postUpdate(ctx, contentTypeGob, buf.Bytes())
+}
+
+// pushDelta sends the compressed update: the quantized difference between
+// the trained replica and the base pulled this round, plus the residual
+// carried over from the previous compressed push (error feedback). The new
+// residual — what quantization lost this time — is committed only once the
+// server acknowledges the update with 200, so a failed or stale push does
+// not corrupt the feedback state.
+func (c *Client) pushDelta(ctx context.Context, round int) (counted bool, err error) {
+	comp, err := c.Compression.normalize()
+	if err != nil {
+		return false, err
+	}
+	params := nn.ExportParams(c.Model)
+	bn := nn.ExportBNStats(c.Model)
+	if len(params) != len(c.baseParams) || len(bn) != len(c.baseBN) {
+		return false, fmt.Errorf("fldist: push: local model shape changed since pull")
+	}
+	if len(c.errParams) != len(params) {
+		// Shape changed since the residual was recorded (or first push):
+		// a stale residual must not be folded into the delta.
+		c.errParams = nil
+	}
+	qP, eP := deltaQuantize(params, c.baseParams, c.errParams, comp)
+	// The BN statistics delta travels raw: a handful of values whose
+	// quantization damage (running variances pushed to zero) far outweighs
+	// the bytes, and raw means no residual to feed back.
+	dB := make([]float64, len(bn))
+	for i := range dB {
+		dB[i] = bn[i] - c.baseBN[i]
+	}
+	body, err := encodeUpdateEnvelope(c.ID, round, float64(c.Subset.Len()),
+		quant.Encode(qP), quant.EncodeRaw(dB))
+	if err != nil {
+		return false, err
+	}
+	counted, err = c.postUpdate(ctx, contentTypeDelta, body)
+	if err == nil && c.residualRound != round+1 {
+		// 200 (counted, or duplicate of an already-counted push of this
+		// same delta whose response was lost): the quantized delta is part
+		// of the server's round, so the residual advances — once per round.
+		c.errParams = eP
+		c.residualRound = round + 1
+	}
+	return counted, err
+}
+
+// deltaQuantize forms the error-fed delta d = (params − base) + residual,
+// quantizes it, and returns the quantized form together with the next
+// residual d − dequantize(q).
+func deltaQuantize(params, base, residual []float64, comp Compression) (quant.Chunked, []float64) {
+	d := make([]float64, len(params))
+	for i := range d {
+		d[i] = params[i] - base[i]
+		if residual != nil {
+			d[i] += residual[i]
+		}
+	}
+	q := quant.QuantizeChunks(d, comp.Bits, comp.Chunk)
+	deq := q.Dequantize()
+	next := make([]float64, len(d))
+	for i := range next {
+		next[i] = d[i] - deq[i]
+	}
+	return q, next
+}
+
+// postUpdate POSTs one update body and maps the server's verdict to the
+// (counted, err) contract shared by both wire protocols.
+func (c *Client) postUpdate(ctx context.Context, contentType string, body []byte) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/update",
+		bytes.NewReader(body))
 	if err != nil {
 		return false, fmt.Errorf("fldist: push: %w", err)
 	}
-	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set("Content-Type", contentType)
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return false, fmt.Errorf("fldist: push: %w", err)
@@ -127,8 +279,8 @@ func (c *Client) Push(ctx context.Context, round int) (counted bool, err error) 
 	case http.StatusConflict:
 		return false, ErrStaleRound
 	default:
-		body, _ := io.ReadAll(resp.Body)
-		return false, fmt.Errorf("fldist: push: %s: %s", resp.Status, body)
+		b, _ := io.ReadAll(resp.Body)
+		return false, fmt.Errorf("fldist: push: %s: %s", resp.Status, b)
 	}
 }
 

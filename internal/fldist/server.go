@@ -1,23 +1,42 @@
 // Package fldist provides a real distributed transport for the federated
-// training loop: an HTTP parameter server speaking gob-encoded model blobs,
-// and a client that pulls the global model, trains locally (PGD adversarial
-// training), and pushes weighted updates. Everything else in this repository
-// simulates federation in-process for experimental control; this package is
-// the deployment path a downstream user of the library would run on actual
-// edge devices, with the same FedAvg/partial-average semantics.
+// training loop: an HTTP parameter server and a client that pulls the global
+// model, trains locally (PGD adversarial training), and pushes weighted
+// updates. Everything else in this repository simulates federation
+// in-process for experimental control; this package is the deployment path a
+// downstream user of the library would run on actual edge devices, with the
+// same FedAvg/partial-average semantics.
+//
+// Two wire protocols coexist and are negotiated per client (docs/WIRE.md):
+//
+//   - Raw: gob-encoded ModelBlob / Update bodies with full-precision
+//     float64 parameters — the original protocol, kept as the fallback so
+//     old clients interoperate.
+//   - Compressed deltas: the client pulls a chunk-quantized global model
+//     (binary quant frames) and pushes a quantized *delta* against that
+//     pulled base, carrying the quantization residual into its next round's
+//     delta (error feedback) so compression error does not accumulate in
+//     the global model. The server dequantizes, reconstructs base+delta,
+//     and feeds the result into the same weighted average as raw updates —
+//     a mixed fleet aggregates correctly.
+//
+// GET /stats exposes bytes-on-wire counters split raw vs compressed.
 package fldist
 
 import (
 	"bytes"
 	"context"
 	"encoding/gob"
+	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"net"
 	"net/http"
 	"sync"
 	"time"
 
 	"fedprophet/internal/fl"
+	"fedprophet/internal/quant"
 )
 
 // ModelBlob is the wire format of the global model state.
@@ -60,7 +79,45 @@ type Server struct {
 	roundsCompleted int
 	// duplicatesDropped counts idempotently ignored retries.
 	duplicatesDropped int
+
+	// served caches, per (bits, chunk) requested this round, the encoded
+	// compressed model body and the dequantized base the clients actually
+	// received — the base deltas must be applied to. Building an entry is a
+	// pure function of (global model, downErr, codec params), so a cache
+	// miss recomputes identical bytes. The cache is dropped when the round
+	// advances.
+	served map[Compression]*servedModel
+	// downErr is the downlink error-feedback state, per codec parameters:
+	// the residual of quantizing the global model for the last served
+	// round, folded into the next round's served model so pull-side
+	// compression error cancels over rounds instead of re-truncating the
+	// model to the quantization grid every round. It is committed from the
+	// served cache when the round advances and holds only the codec
+	// variants actually used that round, so client-supplied (bits, chunk)
+	// pairs cannot grow server state without bound.
+	downErr map[Compression][]float64
+
+	// Traffic counters (model-plane bodies only; see Stats).
+	bytesInRaw, bytesInComp   int64
+	bytesOutRaw, bytesOutComp int64
+	updatesRaw, updatesComp   int64
 }
+
+// servedModel is one round's compressed pull body, its exact client-visible
+// (dequantized) parameter values, and the downlink residual to carry into
+// the next round if this round commits.
+type servedModel struct {
+	body    []byte
+	params  []float64
+	bn      []float64
+	nextErr []float64
+}
+
+// maxCodecVariants bounds how many distinct (bits, chunk) parameter sets
+// the server will serve within one round. Each variant costs a few
+// model-sized buffers; without a bound, a client cycling through chunk
+// values could grow server memory without limit.
+const maxCodecVariants = 8
 
 // NewServer creates a parameter server seeded with the initial global model.
 func NewServer(initParams, initBN []float64, updatesPerRound int) *Server {
@@ -72,6 +129,8 @@ func NewServer(initParams, initBN []float64, updatesPerRound int) *Server {
 		bn:              append([]float64(nil), initBN...),
 		updatesPerRound: updatesPerRound,
 		pendingIDs:      map[int]bool{},
+		served:          map[Compression]*servedModel{},
+		downErr:         map[Compression][]float64{},
 	}
 }
 
@@ -81,6 +140,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/model", s.handleModel)
 	mux.HandleFunc("/round", s.handleRound)
 	mux.HandleFunc("/update", s.handleUpdate)
+	mux.HandleFunc("/stats", s.handleStats)
 	return mux
 }
 
@@ -101,6 +161,31 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
+	comp, compressed, err := parseCodec(r.Header.Get(codecHeader))
+	if err != nil {
+		// A client that asked for compression we cannot parse must hear
+		// about it rather than silently receive a gob blob it may not
+		// expect.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if compressed {
+		s.mu.Lock()
+		if _, known := s.served[comp]; !known && len(s.served) >= maxCodecVariants {
+			s.mu.Unlock()
+			http.Error(w, fmt.Sprintf("fldist: more than %d codec variants in one round", maxCodecVariants),
+				http.StatusBadRequest)
+			return
+		}
+		sm := s.servedModelLocked(comp)
+		body := sm.body
+		s.bytesOutComp += int64(len(body))
+		s.mu.Unlock()
+		w.Header().Set(codecHeader, codecValue(comp))
+		w.Header().Set("Content-Type", contentTypeModel)
+		_, _ = w.Write(body)
+		return
+	}
 	s.mu.Lock()
 	blob := ModelBlob{
 		Round:  s.round,
@@ -113,8 +198,47 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
+	s.mu.Lock()
+	s.bytesOutRaw += int64(buf.Len())
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", contentTypeGob)
 	_, _ = w.Write(buf.Bytes())
+}
+
+// servedModelLocked returns (building on first use this round) the
+// compressed pull body for the given codec parameters and the exact
+// client-visible base values it exposes. Parameters are chunk-quantized; the
+// BatchNorm statistics travel as a raw frame — they are a few dozen values
+// whose distortion (a running variance crushed toward zero) destabilizes
+// normalization out of all proportion to the bytes saved. Callers must hold
+// s.mu.
+func (s *Server) servedModelLocked(c Compression) *servedModel {
+	if sm, ok := s.served[c]; ok {
+		return sm
+	}
+	// Downlink error feedback: quantize the global model plus the residual
+	// left over from the previous round served at these codec parameters.
+	// The residual itself is only *read* here — the new one (nextErr) is
+	// committed when the round advances — so rebuilding within a round is
+	// idempotent and every participant sees the same base.
+	v := append([]float64(nil), s.params...)
+	if e := s.downErr[c]; len(e) == len(v) {
+		for i := range v {
+			v[i] += e[i]
+		}
+	}
+	qp := quant.QuantizeChunks(v, c.Bits, c.Chunk)
+	sm := &servedModel{
+		body:   encodeModelEnvelope(s.round, quant.Encode(qp), quant.EncodeRaw(s.bn)),
+		params: qp.Dequantize(),
+		bn:     append([]float64(nil), s.bn...),
+	}
+	for i := range v {
+		v[i] -= sm.params[i]
+	}
+	sm.nextErr = v
+	s.served[c] = sm
+	return sm
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
@@ -122,27 +246,116 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	if r.Header.Get("Content-Type") == contentTypeDelta {
+		s.handleDeltaUpdate(w, r)
+		return
+	}
+	body, err := s.readUpdateBody(w, r)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("reading update: %v", err), http.StatusBadRequest)
+		return
+	}
 	var u Update
-	if err := gob.NewDecoder(r.Body).Decode(&u); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&u); err != nil {
 		http.Error(w, fmt.Sprintf("bad update: %v", err), http.StatusBadRequest)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.bytesInRaw += int64(len(body))
+	s.admitLocked(w, u.ClientID, u.Round, u.Weight, u.Params, u.BN, false)
+}
+
+// handleDeltaUpdate accepts a compressed push: quantized deltas that the
+// server dequantizes and applies to the exact base it served this round at
+// the same codec parameters, feeding the reconstructed full vectors into
+// the same aggregation path as raw updates.
+func (s *Server) handleDeltaUpdate(w http.ResponseWriter, r *http.Request) {
+	body, err := s.readUpdateBody(w, r)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("reading update: %v", err), http.StatusBadRequest)
+		return
+	}
+	u, err := decodeUpdateEnvelope(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if u.Params.IsRaw() {
+		http.Error(w, "fldist: delta update must carry a quantized params frame", http.StatusBadRequest)
+		return
+	}
+	comp, err := Compression{Bits: u.Params.Bits, Chunk: u.Params.Chunk}.normalize()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bytesInComp += int64(len(body))
 	if u.Round != s.round {
 		http.Error(w, fmt.Sprintf("stale round %d, server at %d", u.Round, s.round),
 			http.StatusConflict)
 		return
 	}
-	if len(u.Params) != len(s.params) || len(u.BN) != len(s.bn) {
+	if u.Params.Len() != len(s.params) || u.BN.Len() != len(s.bn) {
 		http.Error(w, "shape mismatch", http.StatusBadRequest)
 		return
 	}
-	if u.Weight <= 0 {
-		http.Error(w, "non-positive weight", http.StatusBadRequest)
+	if _, known := s.served[comp]; !known && len(s.served) >= maxCodecVariants {
+		http.Error(w, fmt.Sprintf("fldist: more than %d codec variants in one round", maxCodecVariants),
+			http.StatusBadRequest)
 		return
 	}
-	if s.pendingIDs[u.ClientID] {
+	// Reconstruct the client's full vectors: the base it pulled (this
+	// round's served dequantized model at the same codec parameters —
+	// deterministic, so recomputing on a cache miss yields the same values)
+	// plus its dequantized delta.
+	sm := s.servedModelLocked(comp)
+	params := u.Params.Vector()
+	for i := range params {
+		params[i] += sm.params[i]
+	}
+	bn := u.BN.Vector()
+	for i := range bn {
+		bn[i] += sm.bn[i]
+	}
+	s.admitLocked(w, u.ClientID, u.Round, u.Weight, params, bn, true)
+}
+
+// admitLocked runs the transport-independent admission path: weight and
+// duplicate checks, pending accumulation, and the synchronous FedAvg
+// aggregation once the quorum is reached; `compressed` attributes the
+// update to the right Stats counter, charged only once the update is
+// actually counted toward the round (rejected and duplicate pushes are
+// not updates). Callers must hold s.mu and have verified round and shapes.
+func (s *Server) admitLocked(w http.ResponseWriter, clientID, round int, weight float64, params, bn []float64, compressed bool) {
+	if round != s.round {
+		http.Error(w, fmt.Sprintf("stale round %d, server at %d", round, s.round),
+			http.StatusConflict)
+		return
+	}
+	if len(params) != len(s.params) || len(bn) != len(s.bn) {
+		http.Error(w, "shape mismatch", http.StatusBadRequest)
+		return
+	}
+	// NaN compares false to everything, so `weight > 0` (not `<= 0`) is the
+	// shape of the check; and one non-finite parameter — reachable through
+	// either wire protocol's attacker-shaped float64 bits — would poison
+	// the weighted average for every client with no recovery.
+	if !(weight > 0) || math.IsInf(weight, 0) {
+		http.Error(w, "weight must be a positive finite value", http.StatusBadRequest)
+		return
+	}
+	for _, vec := range [][]float64{params, bn} {
+		for _, x := range vec {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				http.Error(w, "non-finite value in update", http.StatusBadRequest)
+				return
+			}
+		}
+	}
+	if s.pendingIDs[clientID] {
 		// Retry of an already-counted update (e.g. the client timed out
 		// waiting for a slow 200). Acknowledge without re-counting so the
 		// FedAvg weights stay correct and the client moves on.
@@ -151,10 +364,15 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		return
 	}
-	s.pendingIDs[u.ClientID] = true
-	s.pendingParams = append(s.pendingParams, u.Params)
-	s.pendingBN = append(s.pendingBN, u.BN)
-	s.pendingW = append(s.pendingW, u.Weight)
+	s.pendingIDs[clientID] = true
+	s.pendingParams = append(s.pendingParams, params)
+	s.pendingBN = append(s.pendingBN, bn)
+	s.pendingW = append(s.pendingW, weight)
+	if compressed {
+		s.updatesComp++
+	} else {
+		s.updatesRaw++
+	}
 	if len(s.pendingParams) >= s.updatesPerRound {
 		s.params = fl.WeightedAverage(s.pendingParams, s.pendingW)
 		if len(s.bn) > 0 {
@@ -162,10 +380,58 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 		s.pendingParams, s.pendingBN, s.pendingW = nil, nil, nil
 		s.pendingIDs = map[int]bool{}
+		// Commit the downlink error-feedback residuals of the codec
+		// variants actually served this round (bounded by
+		// maxCodecVariants), replacing last round's state, and drop the
+		// round's served cache.
+		s.downErr = make(map[Compression][]float64, len(s.served))
+		for c, sm := range s.served {
+			s.downErr[c] = sm.nextErr
+		}
+		s.served = map[Compression]*servedModel{}
 		s.round++
 		s.roundsCompleted++
 	}
 	w.WriteHeader(http.StatusOK)
+}
+
+// readUpdateBody buffers one /update request body, capped at a generous
+// multiple of the model size so an oversized POST cannot exhaust server
+// memory: the largest legitimate body is the raw gob update (~10 bytes per
+// float64 plus framing), well under 16 bytes/value.
+func (s *Server) readUpdateBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	s.mu.Lock()
+	limit := 4096 + 16*int64(len(s.params)+len(s.bn))
+	s.mu.Unlock()
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+}
+
+// handleStats serves the traffic and progress counters as JSON.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	st := s.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(st)
+}
+
+// Stats returns a snapshot of the server's traffic and progress counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Round:              s.round,
+		RoundsCompleted:    s.roundsCompleted,
+		DuplicatesDropped:  s.duplicatesDropped,
+		BytesInRaw:         s.bytesInRaw,
+		BytesInCompressed:  s.bytesInComp,
+		BytesOutRaw:        s.bytesOutRaw,
+		BytesOutCompressed: s.bytesOutComp,
+		UpdatesRaw:         s.updatesRaw,
+		UpdatesCompressed:  s.updatesComp,
+	}
 }
 
 // Round returns the server's current round.

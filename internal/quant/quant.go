@@ -3,6 +3,15 @@
 // names as complementary to FedProphet's layer-level partitioning. Clients
 // can upload quantized module updates and the server dequantizes before
 // partial averaging.
+//
+// Two granularities are provided. Quantize fits one scale to the whole
+// vector — simple, but a single outlier weight destroys the resolution of
+// every other value. QuantizeChunks fits an independent scale per fixed-size
+// chunk, confining each outlier's damage to its own chunk; this is the form
+// the distributed transport (internal/fldist) puts on the wire. Encode and
+// Decode serialize chunked vectors into a self-describing binary frame with
+// a magic+version header (see docs/WIRE.md for the byte-level layout), so
+// non-Go clients can interoperate.
 package quant
 
 import (
@@ -28,21 +37,44 @@ func Quantize(v []float64, bits int) Quantized {
 	if bits < 2 || bits > 8 {
 		panic(fmt.Sprintf("quant: bits must be in [2,8], got %d", bits))
 	}
+	scale := chunkScale(v, bits)
+	q := Quantized{Scale: scale, Bits: bits, N: len(v)}
+	q.Codes = make([]byte, codeBytes(len(v), bits))
+	packCodes(q.Codes, v, scale, bits)
+	return q
+}
+
+// codeBytes returns the packed size of n codes at the given bit width.
+func codeBytes(n, bits int) int { return (n*bits + 7) / 8 }
+
+// chunkScale fits the symmetric quantization scale maxAbs/maxCode to v.
+// Degenerate inputs — all-zero (maxAbs = 0) or containing a non-finite
+// value (maxAbs = ±Inf or NaN) — yield scale 0, which both packCodes and
+// unpackCodes treat as "every code is zero": the chunk round-trips to an
+// exact zero vector instead of emitting NaN on dequantize.
+func chunkScale(v []float64, bits int) float64 {
 	maxAbs := 0.0
 	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0
+		}
 		if a := math.Abs(x); a > maxAbs {
 			maxAbs = a
 		}
 	}
-	mc := maxCode(bits)
-	scale := maxAbs / float64(mc)
-	q := Quantized{Scale: scale, Bits: bits, N: len(v)}
-	q.Codes = make([]byte, (len(v)*bits+7)/8)
+	return maxAbs / float64(maxCode(bits))
+}
+
+// packCodes quantizes v at the given scale and packs the two's-complement
+// codes little-endian into dst, which must hold codeBytes(len(v), bits)
+// zeroed bytes. A zero scale leaves dst all zero.
+func packCodes(dst []byte, v []float64, scale float64, bits int) {
 	if scale == 0 {
-		return q
+		return
 	}
-	bitPos := 0
+	mc := maxCode(bits)
 	mask := (1 << bits) - 1
+	bitPos := 0
 	for _, x := range v {
 		code := int(math.Round(x / scale))
 		if code > mc {
@@ -53,39 +85,47 @@ func Quantize(v []float64, bits int) Quantized {
 		u := code & mask // two's complement within `bits` bits
 		byteIdx := bitPos / 8
 		off := bitPos % 8
-		q.Codes[byteIdx] |= byte(u << off)
+		dst[byteIdx] |= byte(u << off)
 		if off+bits > 8 {
-			q.Codes[byteIdx+1] |= byte(u >> (8 - off))
+			dst[byteIdx+1] |= byte(u >> (8 - off))
 		}
 		bitPos += bits
 	}
-	return q
+}
+
+// unpackCodes reverses packCodes: it sign-extends each packed code from src
+// and writes code·scale into dst. A zero scale writes zeros.
+func unpackCodes(dst []float64, src []byte, scale float64, bits int) {
+	if scale == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	mask := (1 << bits) - 1
+	signBit := 1 << (bits - 1)
+	bitPos := 0
+	for i := range dst {
+		byteIdx := bitPos / 8
+		off := bitPos % 8
+		u := int(src[byteIdx]) >> off
+		if off+bits > 8 {
+			u |= int(src[byteIdx+1]) << (8 - off)
+		}
+		u &= mask
+		code := u
+		if u&signBit != 0 {
+			code = u - (1 << bits) // sign-extend
+		}
+		dst[i] = float64(code) * scale
+		bitPos += bits
+	}
 }
 
 // Dequantize reconstructs the approximate float vector.
 func (q Quantized) Dequantize() []float64 {
 	out := make([]float64, q.N)
-	if q.Scale == 0 {
-		return out
-	}
-	mask := (1 << q.Bits) - 1
-	signBit := 1 << (q.Bits - 1)
-	bitPos := 0
-	for i := 0; i < q.N; i++ {
-		byteIdx := bitPos / 8
-		off := bitPos % 8
-		u := int(q.Codes[byteIdx]) >> off
-		if off+q.Bits > 8 {
-			u |= int(q.Codes[byteIdx+1]) << (8 - off)
-		}
-		u &= mask
-		code := u
-		if u&signBit != 0 {
-			code = u - (1 << q.Bits) // sign-extend
-		}
-		out[i] = float64(code) * q.Scale
-		bitPos += q.Bits
-	}
+	unpackCodes(out, q.Codes, q.Scale, q.Bits)
 	return out
 }
 

@@ -206,10 +206,18 @@ func (r *Runner) Run(ctx context.Context, opts ...Option) (*Result, error) {
 		s.TrainPGD = *cfg.trainPGD
 	}
 
+	if cfg.uploadBits != 0 && (cfg.uploadBits < 2 || cfg.uploadBits > 8) {
+		return nil, fmt.Errorf("fedprophet: upload/wire-compression bits %d outside [2,8] (0 disables)", cfg.uploadBits)
+	}
+	if cfg.uploadChunk < 0 {
+		return nil, fmt.Errorf("fedprophet: wire-compression chunk %d must be ≥ 0", cfg.uploadChunk)
+	}
+
 	params := exp.ParamsFor(w, s)
 	params.UseAPA = cfg.apa
 	params.UseDMA = cfg.dma
 	params.UploadBits = cfg.uploadBits
+	params.UploadChunk = cfg.uploadChunk
 	method, err := fl.NewMethod(cfg.method, params)
 	if err != nil {
 		return nil, err

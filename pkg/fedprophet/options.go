@@ -1,5 +1,7 @@
 package fedprophet
 
+import "fedprophet/internal/fldist"
+
 // Option configures a Runner or a single Run call. Options compose left to
 // right; later options win.
 type Option func(*runConfig)
@@ -19,9 +21,10 @@ type runConfig struct {
 	localIters      int
 	trainPGD        *int
 
-	apa        bool
-	dma        bool
-	uploadBits int
+	apa         bool
+	dma         bool
+	uploadBits  int
+	uploadChunk int
 
 	parallelism int
 	hook        func(RoundMetrics)
@@ -95,8 +98,28 @@ func WithAPA(on bool) Option { return func(c *runConfig) { c.apa = on } }
 func WithDMA(on bool) Option { return func(c *runConfig) { c.dma = on } }
 
 // WithUploadBits enables low-bit quantization of FedProphet client uploads
-// (2–8 bits; 0 disables).
+// (2–8 bits; 0 disables) with a single scale per upload vector. Prefer
+// WithWireCompression, which also sets the chunked form the distributed
+// transport puts on the wire.
 func WithUploadBits(bits int) Option { return func(c *runConfig) { c.uploadBits = bits } }
+
+// WithWireCompression configures the compressed wire protocol parameters:
+// client uploads are quantized at `bits` (2–8) with one scale per `chunk`
+// values (0 selects the transport default of 256), exactly as
+// internal/fldist frames deltas on the wire, and communication-byte
+// accounting charges the codec's true frame size. In-process runs apply it
+// to FedProphet's module uploads; for a real fleet, pass the same numbers
+// to fldist.Client.Compression (cmd/fldist -bits/-chunk). Bits 0 disables
+// compression.
+func WithWireCompression(bits, chunk int) Option {
+	return func(c *runConfig) {
+		c.uploadBits = bits
+		if bits != 0 && chunk == 0 {
+			chunk = fldist.DefaultChunk
+		}
+		c.uploadChunk = chunk
+	}
+}
 
 // WithClientParallelism trains each round's sampled clients on up to n
 // concurrent workers. The result is bit-identical to sequential execution
