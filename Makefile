@@ -7,12 +7,17 @@
 #   make bench-json     - record the conv-backend baseline to BENCH_conv.json
 #   make bench-wire     - record the wire-protocol baseline to BENCH_wire.json
 #                         (bytes/round + round latency at raw/8/4/2 bits)
+#   make bench-serve    - record the parameter-server baseline to BENCH_serve.json
+#                         (updates/sec + push latency + allocs/op, single-mutex
+#                         vs sharded, at N=4/16/64 concurrent clients; pinned to
+#                         GOMAXPROCS=4 so the concurrency plane is exercised
+#                         even on smaller CI hosts)
 #   make check-docs     - fail on dead relative links in README/docs
 #   make cover   - tests with coverage summary
 
 GO ?= go
 
-.PHONY: all build vet test test-race check-docs ci bench bench-parallel bench-conv bench-json bench-wire cover clean
+.PHONY: all build vet test test-race check-docs smoke-serve ci bench bench-parallel bench-conv bench-json bench-wire bench-serve cover clean
 
 all: ci
 
@@ -27,15 +32,22 @@ test:
 
 # The concurrency-bearing packages (tensor worker pool + scratch arena,
 # parallel GEMM convolutions, client-parallel training, the HTTP transport
-# with concurrent compressed/raw clients) under the race detector.
+# with sharded aggregation and concurrent compressed/raw clients, the pooled
+# streaming codec) under the race detector.
 test-race:
-	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/fl/... ./internal/fldist/...
+	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/fl/... ./internal/fldist/... ./internal/quant/...
 
 # Dead relative links in the markdown docs fail the build.
 check-docs:
 	$(GO) run ./cmd/checkdocs README.md ROADMAP.md docs
 
-ci: build vet test test-race check-docs
+# A ~2-second benchserve run (N=8 fleet, both server implementations) so the
+# concurrent push path is exercised on every build, not just when someone
+# records a baseline.
+smoke-serve:
+	GOMAXPROCS=4 $(GO) run ./cmd/benchserve -smoke
+
+ci: build vet test test-race check-docs smoke-serve
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
@@ -51,6 +63,9 @@ bench-json:
 
 bench-wire:
 	$(GO) run ./cmd/benchwire -out BENCH_wire.json
+
+bench-serve:
+	GOMAXPROCS=4 $(GO) run ./cmd/benchserve -duration 5s -out BENCH_serve.json
 
 cover:
 	$(GO) test -cover ./...

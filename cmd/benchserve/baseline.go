@@ -1,0 +1,247 @@
+package main
+
+// baselineServer is the pre-shard fldist parameter server, preserved
+// verbatim in spirit as the benchmark's control: every Pull, Push and round
+// poll serializes on one sync.Mutex, push bodies are buffered whole with
+// io.ReadAll, frames are decoded into freshly allocated vectors, and the
+// model-sized reconstruct/validate work happens inside the global critical
+// section. It speaks the same wire protocol (docs/WIRE.md) as the sharded
+// server, so the identical client fleet runs against both and the measured
+// difference is the server architecture alone. Do not "improve" this file —
+// its value is being the frozen single-mutex reference.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+
+	"fedprophet/internal/fl"
+	"fedprophet/internal/quant"
+)
+
+const (
+	codecHeaderName  = "X-Fldist-Codec"
+	contentTypeModel = "application/x-fldist-model"
+	contentTypeDelta = "application/x-fldist-delta"
+	modelMagic       = "FPM1"
+	updateMagic      = "FPU1"
+	envVersion       = 1
+)
+
+type baselineServer struct {
+	mu              sync.Mutex
+	round           int
+	params          []float64
+	bn              []float64
+	updatesPerRound int
+
+	pendingParams [][]float64
+	pendingBN     [][]float64
+	pendingW      []float64
+	pendingIDs    map[int]bool
+
+	roundsCompleted int
+	updates         int64
+
+	served  map[codecParams]*baseServed
+	downErr map[codecParams][]float64
+}
+
+type codecParams struct{ bits, chunk int }
+
+type baseServed struct {
+	body    []byte
+	params  []float64
+	bn      []float64
+	nextErr []float64
+}
+
+func newBaselineServer(initParams, initBN []float64, updatesPerRound int) *baselineServer {
+	return &baselineServer{
+		params:          append([]float64(nil), initParams...),
+		bn:              append([]float64(nil), initBN...),
+		updatesPerRound: updatesPerRound,
+		pendingIDs:      map[int]bool{},
+		served:          map[codecParams]*baseServed{},
+		downErr:         map[codecParams][]float64{},
+	}
+}
+
+func (s *baselineServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/model", s.handleModel)
+	mux.HandleFunc("/round", s.handleRound)
+	mux.HandleFunc("/update", s.handleUpdate)
+	return mux
+}
+
+// handleRound takes the global mutex, exactly as the pre-shard server did —
+// under load, round polls contend with in-flight aggregation.
+func (s *baselineServer) handleRound(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	round := s.round
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintf(w, "%d", round)
+}
+
+func (s *baselineServer) handleModel(w http.ResponseWriter, r *http.Request) {
+	comp, ok := parseCodecHeader(r.Header.Get(codecHeaderName))
+	if !ok {
+		http.Error(w, "benchserve baseline: compressed pulls only", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	sm := s.servedModelLocked(comp)
+	body := sm.body
+	s.mu.Unlock()
+	w.Header().Set(codecHeaderName, r.Header.Get(codecHeaderName))
+	w.Header().Set("Content-Type", contentTypeModel)
+	_, _ = w.Write(body)
+}
+
+func (s *baselineServer) servedModelLocked(c codecParams) *baseServed {
+	if sm, ok := s.served[c]; ok {
+		return sm
+	}
+	v := append([]float64(nil), s.params...)
+	if e := s.downErr[c]; len(e) == len(v) {
+		for i := range v {
+			v[i] += e[i]
+		}
+	}
+	qp := quant.QuantizeChunks(v, c.bits, c.chunk)
+	body := make([]byte, 0, 9)
+	body = append(body, modelMagic...)
+	body = append(body, envVersion)
+	body = binary.LittleEndian.AppendUint32(body, uint32(s.round))
+	body = append(body, quant.Encode(qp)...)
+	body = append(body, quant.EncodeRaw(s.bn)...)
+	sm := &baseServed{
+		body:   body,
+		params: qp.Dequantize(),
+		bn:     append([]float64(nil), s.bn...),
+	}
+	for i := range v {
+		v[i] -= sm.params[i]
+	}
+	sm.nextErr = v
+	s.served[c] = sm
+	return sm
+}
+
+func (s *baselineServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get("Content-Type") != contentTypeDelta {
+		http.Error(w, "benchserve baseline: delta updates only", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	limit := 4096 + 16*int64(len(s.params)+len(s.bn))
+	s.mu.Unlock()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("reading update: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(body) < 21 || string(body[:4]) != updateMagic || body[4] != envVersion {
+		http.Error(w, "bad update envelope", http.StatusBadRequest)
+		return
+	}
+	clientID := int(binary.LittleEndian.Uint32(body[5:9]))
+	round := int(binary.LittleEndian.Uint32(body[9:13]))
+	weight := math.Float64frombits(binary.LittleEndian.Uint64(body[13:21]))
+	pf, rest, err := quant.DecodeFirst(body[21:])
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	bf, rest, err := quant.DecodeFirst(rest)
+	if err != nil || len(rest) != 0 {
+		http.Error(w, "bad update frames", http.StatusBadRequest)
+		return
+	}
+	if pf.IsRaw() {
+		http.Error(w, "delta update must be quantized", http.StatusBadRequest)
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if round != s.round {
+		http.Error(w, fmt.Sprintf("stale round %d, server at %d", round, s.round), http.StatusConflict)
+		return
+	}
+	if pf.Len() != len(s.params) || bf.Len() != len(s.bn) {
+		http.Error(w, "shape mismatch", http.StatusBadRequest)
+		return
+	}
+	if !(weight > 0) || math.IsInf(weight, 0) {
+		http.Error(w, "bad weight", http.StatusBadRequest)
+		return
+	}
+	sm := s.servedModelLocked(codecParams{pf.Bits, pf.Chunk})
+	params := pf.Vector()
+	for i := range params {
+		params[i] += sm.params[i]
+	}
+	bn := bf.Vector()
+	for i := range bn {
+		bn[i] += sm.bn[i]
+	}
+	for _, vec := range [][]float64{params, bn} {
+		for _, x := range vec {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				http.Error(w, "non-finite value in update", http.StatusBadRequest)
+				return
+			}
+		}
+	}
+	if s.pendingIDs[clientID] {
+		w.Header().Set("X-Fldist-Duplicate", "1")
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	s.pendingIDs[clientID] = true
+	s.pendingParams = append(s.pendingParams, params)
+	s.pendingBN = append(s.pendingBN, bn)
+	s.pendingW = append(s.pendingW, weight)
+	s.updates++
+	if len(s.pendingParams) >= s.updatesPerRound {
+		s.params = fl.WeightedAverage(s.pendingParams, s.pendingW)
+		if len(s.bn) > 0 {
+			s.bn = fl.WeightedAverage(s.pendingBN, s.pendingW)
+		}
+		s.pendingParams, s.pendingBN, s.pendingW = nil, nil, nil
+		s.pendingIDs = map[int]bool{}
+		s.downErr = make(map[codecParams][]float64, len(s.served))
+		for c, sm := range s.served {
+			s.downErr[c] = sm.nextErr
+		}
+		s.served = map[codecParams]*baseServed{}
+		s.round++
+		s.roundsCompleted++
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *baselineServer) stats() (round, roundsCompleted int, updates int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.round, s.roundsCompleted, s.updates
+}
+
+// parseCodecHeader accepts exactly the fpq1;bits=B;chunk=C form the bench
+// clients send.
+func parseCodecHeader(v string) (codecParams, bool) {
+	var bits, chunk int
+	if _, err := fmt.Sscanf(v, "fpq1;bits=%d;chunk=%d", &bits, &chunk); err != nil {
+		return codecParams{}, false
+	}
+	if bits < 2 || bits > 8 || chunk < 1 {
+		return codecParams{}, false
+	}
+	return codecParams{bits, chunk}, true
+}

@@ -1,0 +1,492 @@
+// Command benchserve measures the parameter server's aggregation plane under
+// concurrent load: N in-process clients hammer one server over real HTTP
+// with compressed delta pushes, against both the frozen pre-shard
+// single-mutex implementation (baseline.go) and the current sharded,
+// streaming server (internal/fldist). It reports updates/sec, client-side
+// push latency percentiles, steady-state push-path allocations (measured
+// through the HTTP handler with no network noise), and heap peaks, and
+// writes the JSON baseline the repo tracks as BENCH_serve.json.
+//
+//	go run ./cmd/benchserve -out BENCH_serve.json
+//	go run ./cmd/benchserve -smoke        # 1-second N=8 CI smoke, no file
+//
+// The synthetic clients are deliberately O(1) per push after setup — the
+// delta body is prepared once and only its round/client fields are patched —
+// so the measured throughput is the server's capacity, not the fleet's
+// training speed. Both servers speak the identical wire protocol and are
+// driven by the identical fleet; the measured difference is the server
+// architecture alone.
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fedprophet/internal/fldist"
+	"fedprophet/internal/quant"
+)
+
+type phaseResult struct {
+	Clients           int     `json:"clients"`
+	Server            string  `json:"server"` // "single-mutex" or "sharded"
+	Shards            int     `json:"shards,omitempty"`
+	Seconds           float64 `json:"seconds"`
+	Updates           int64   `json:"updates"`
+	Rounds            int     `json:"rounds"`
+	UpdatesPerSec     float64 `json:"updates_per_sec"`
+	PushP50MS         float64 `json:"push_p50_ms"`
+	PushP99MS         float64 `json:"push_p99_ms"`
+	HeapPeakBytes     uint64  `json:"heap_peak_bytes"`
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+type allocResult struct {
+	Server      string  `json:"server"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+type report struct {
+	Params         int           `json:"params"`
+	Bits           int           `json:"bits"`
+	Chunk          int           `json:"chunk"`
+	GOMAXPROCS     int           `json:"gomaxprocs"`
+	Shards         int           `json:"shards"`
+	Results        []phaseResult `json:"results"`
+	PushAllocs     []allocResult `json:"push_allocs"`
+	AllocReduction float64       `json:"alloc_reduction"`
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_serve.json", "output JSON path (empty = don't write)")
+		nParams  = flag.Int("params", 50000, "synthetic model size (float64 values)")
+		bits     = flag.Int("bits", 8, "delta quantization bit width")
+		chunk    = flag.Int("chunk", 256, "values per quantization scale")
+		clients  = flag.String("clients", "4,16,64", "comma-separated concurrent client counts")
+		duration = flag.Duration("duration", 3*time.Second, "wall-clock per phase")
+		shards   = flag.Int("shards", 0, "shard count for the sharded server (0 = server default)")
+		seed     = flag.Int64("seed", 1, "synthetic model seed")
+		smoke    = flag.Bool("smoke", false, "CI smoke: N=8 only, 1s phases, no output file")
+	)
+	flag.Parse()
+	if *smoke {
+		*clients, *duration, *out = "8", time.Second, ""
+	}
+
+	var ns []int
+	for _, f := range strings.Split(*clients, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			log.Fatalf("benchserve: bad -clients entry %q", f)
+		}
+		ns = append(ns, n)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	initParams := make([]float64, *nParams)
+	for i := range initParams {
+		initParams[i] = rng.NormFloat64()
+	}
+
+	rep := report{Params: *nParams, Bits: *bits, Chunk: *chunk, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	log.Printf("benchserve: %d params, %d-bit/%d-chunk deltas, GOMAXPROCS=%d",
+		*nParams, *bits, *chunk, rep.GOMAXPROCS)
+
+	for _, n := range ns {
+		base := runPhase(newBaselineHandler(initParams, n), "single-mutex", n, *duration, initParams, *bits, *chunk)
+		srv := fldist.NewServer(initParams, nil, n, fldist.WithShards(*shards))
+		rep.Shards = srv.Shards()
+		shard := runPhase(srv.Handler(), "sharded", n, *duration, initParams, *bits, *chunk)
+		shard.Shards = srv.Shards()
+		if base.UpdatesPerSec > 0 {
+			shard.SpeedupVsBaseline = shard.UpdatesPerSec / base.UpdatesPerSec
+		}
+		log.Printf("N=%-3d single-mutex %8.0f up/s (p50 %.2fms p99 %.2fms) | sharded %8.0f up/s (p50 %.2fms p99 %.2fms) | %.2fx",
+			n, base.UpdatesPerSec, base.PushP50MS, base.PushP99MS,
+			shard.UpdatesPerSec, shard.PushP50MS, shard.PushP99MS, shard.SpeedupVsBaseline)
+		rep.Results = append(rep.Results, base, shard)
+	}
+
+	// Steady-state push-path allocations, measured straight through the HTTP
+	// handlers with a reused request and a no-op response writer, so the
+	// numbers are the servers' own.
+	baseAllocs, baseBytes := measurePushAllocs(func(q int) http.Handler {
+		return newBaselineHandler(initParams, q)
+	}, initParams, *bits, *chunk)
+	shardAllocs, shardBytes := measurePushAllocs(func(q int) http.Handler {
+		return fldist.NewServer(initParams, nil, q, fldist.WithShards(*shards)).Handler()
+	}, initParams, *bits, *chunk)
+	rep.PushAllocs = []allocResult{
+		{Server: "single-mutex", AllocsPerOp: baseAllocs, BytesPerOp: baseBytes},
+		{Server: "sharded", AllocsPerOp: shardAllocs, BytesPerOp: shardBytes},
+	}
+	if shardAllocs > 0 {
+		rep.AllocReduction = baseAllocs / shardAllocs
+	}
+	log.Printf("push allocs/op: single-mutex %.0f (%.0f B) | sharded %.0f (%.0f B) | %.1fx fewer",
+		baseAllocs, baseBytes, shardAllocs, shardBytes, rep.AllocReduction)
+
+	if *out == "" {
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}
+
+func newBaselineHandler(initParams []float64, quorum int) http.Handler {
+	return newBaselineServer(initParams, nil, quorum).handler()
+}
+
+// runPhase drives n concurrent synthetic clients against one server for
+// about d wall-clock and reports the measured throughput and latency.
+func runPhase(h http.Handler, name string, n int, d time.Duration, initParams []float64, bits, chunk int) phaseResult {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: h}
+	go func() { _ = hs.Serve(ln) }()
+	url := "http://" + ln.Addr().String()
+
+	transport := &http.Transport{MaxIdleConns: n * 2, MaxIdleConnsPerHost: n * 2}
+	hc := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+
+	runtime.GC()
+	var heapPeak atomic.Uint64
+	sampleCtx, stopSampling := context.WithCancel(context.Background())
+	go func() {
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-sampleCtx.Done():
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapInuse > heapPeak.Load() {
+					heapPeak.Store(ms.HeapInuse)
+				}
+			}
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	var wg sync.WaitGroup
+	var updates atomic.Int64
+	latencies := make([][]time.Duration, n)
+	start := time.Now()
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			latencies[id] = runClient(ctx, hc, url, id, initParams, bits, chunk, &updates)
+		}(id)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	stopSampling()
+	_ = hs.Close()
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		return float64(all[int(q*float64(len(all)-1))]) / float64(time.Millisecond)
+	}
+	total := updates.Load()
+	return phaseResult{
+		Clients:       n,
+		Server:        name,
+		Seconds:       elapsed.Seconds(),
+		Updates:       total,
+		Rounds:        int(total) / n,
+		UpdatesPerSec: float64(total) / elapsed.Seconds(),
+		PushP50MS:     pct(0.50),
+		PushP99MS:     pct(0.99),
+		HeapPeakBytes: heapPeak.Load(),
+	}
+}
+
+// runClient is one synthetic fleet member: after preparing its delta body
+// once, each round costs it a round poll, a 4-byte patch and one POST — all
+// the heavy lifting happens server-side, which is what this benchmark
+// measures. Counted pushes are recorded with their wall-clock latency.
+func runClient(ctx context.Context, hc *http.Client, url string, id int,
+	initParams []float64, bits, chunk int, updates *atomic.Int64) []time.Duration {
+	// A deterministic per-client delta, quantized once. The delta is
+	// independent of the pulled base, so the body bytes are reusable across
+	// rounds with only the round field changing.
+	rng := rand.New(rand.NewSource(int64(1000 + id)))
+	delta := make([]float64, len(initParams))
+	for i := range delta {
+		delta[i] = 1e-3 * rng.NormFloat64()
+	}
+	q := quant.QuantizeChunks(delta, bits, chunk)
+	body := make([]byte, 0, 21+len(initParams))
+	body = append(body, updateMagic...)
+	body = append(body, envVersion)
+	body = binary.LittleEndian.AppendUint32(body, uint32(id))
+	body = binary.LittleEndian.AppendUint32(body, 0) // round, patched per push
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], uint64(0x3FF0000000000000)) // weight 1.0
+	body = append(body, w[:]...)
+	body = append(body, quant.Encode(q)...)
+	body = append(body, quant.EncodeRaw(nil)...)
+
+	// One negotiated pull up front (validates the server speaks the codec),
+	// then the round-poll/push loop.
+	round, ok := pullRound(ctx, hc, url, bits, chunk)
+	if !ok {
+		return nil
+	}
+	var lats []time.Duration
+	reader := newNopReader(body)
+	for ctx.Err() == nil {
+		// The previous request has fully completed (hc.Do is synchronous),
+		// so patching the shared body and rewinding the reader is safe.
+		binary.LittleEndian.PutUint32(body[9:13], uint32(round))
+		reader.off = 0
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/update", reader)
+		if err != nil {
+			return lats
+		}
+		req.ContentLength = int64(len(body))
+		req.Header.Set("Content-Type", contentTypeDelta)
+		t0 := time.Now()
+		resp, err := hc.Do(req)
+		if err != nil {
+			return lats
+		}
+		lat := time.Since(t0)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK && resp.Header.Get("X-Fldist-Duplicate") == "":
+			updates.Add(1)
+			lats = append(lats, lat)
+			r, ok := awaitRound(ctx, hc, url, round)
+			if !ok {
+				return lats
+			}
+			round = r
+		case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusConflict:
+			r, ok := pollRound(ctx, hc, url)
+			if !ok {
+				return lats
+			}
+			if r == round { // duplicate of a still-open round: wait it out
+				if r, ok = awaitRound(ctx, hc, url, round); !ok {
+					return lats
+				}
+			}
+			round = r
+		default:
+			b, _ := io.ReadAll(resp.Body)
+			log.Fatalf("benchserve: client %d push: %s: %s", id, resp.Status, b)
+		}
+	}
+	return lats
+}
+
+// nopReader is a rewindable ReadCloser over a byte slice, reused across
+// requests so the client side stays allocation-quiet.
+type nopReader struct {
+	b   []byte
+	off int
+}
+
+func newNopReader(b []byte) *nopReader { return &nopReader{b: b} }
+
+func (r *nopReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func (r *nopReader) Close() error { return nil }
+
+// pullRound issues the negotiated GET /model and returns the round it
+// belongs to.
+func pullRound(ctx context.Context, hc *http.Client, url string, bits, chunk int) (int, bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/model", nil)
+	if err != nil {
+		return 0, false
+	}
+	req.Header.Set(codecHeaderName, fmt.Sprintf("fpq1;bits=%d;chunk=%d", bits, chunk))
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	var hdr [9]byte
+	if _, err := io.ReadFull(resp.Body, hdr[:]); err != nil || resp.StatusCode != http.StatusOK {
+		log.Fatalf("benchserve: pull: status %d err %v", resp.StatusCode, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return int(binary.LittleEndian.Uint32(hdr[5:9])), true
+}
+
+// pollRound reads GET /round once.
+func pollRound(ctx context.Context, hc *http.Client, url string) (int, bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/round", nil)
+	if err != nil {
+		return 0, false
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, false
+	}
+	r, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil {
+		return 0, false
+	}
+	return r, true
+}
+
+// awaitRound polls until the server's round exceeds round, with jittered
+// exponential backoff (matching the production client's herd avoidance).
+func awaitRound(ctx context.Context, hc *http.Client, url string, round int) (int, bool) {
+	backoff := 2 * time.Millisecond
+	const maxBackoff = 64 * time.Millisecond
+	for {
+		r, ok := pollRound(ctx, hc, url)
+		if !ok {
+			return 0, false
+		}
+		if r > round {
+			return r, true
+		}
+		half := int64(backoff / 2)
+		select {
+		case <-ctx.Done():
+			return 0, false
+		case <-time.After(time.Duration(half + rand.Int63n(half+1))):
+		}
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
+}
+
+// nullWriter is a no-op ResponseWriter for the alloc measurement: it keeps
+// harness allocations to a couple of objects so the per-op numbers belong to
+// the servers.
+type nullWriter struct {
+	h    http.Header
+	code int
+}
+
+func (w *nullWriter) Header() http.Header         { return w.h }
+func (w *nullWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nullWriter) WriteHeader(code int)        { w.code = code }
+
+// measurePushAllocs drives compressed pushes straight through a fresh
+// server's handler — no network — with quorum 16 (the headline fleet size),
+// so every 16th push folds a round and the steady state includes aggregation
+// and pooled-buffer recycling. It reports (allocations, bytes) per push
+// averaged over 480 pushes after a warmup.
+func measurePushAllocs(mk func(quorum int) http.Handler, initParams []float64, bits, chunk int) (allocsPerOp, bytesPerOp float64) {
+	const quorum = 16
+	const warmup = 48
+	const measured = 480
+	h := mk(quorum)
+
+	rng := rand.New(rand.NewSource(77))
+	delta := make([]float64, len(initParams))
+	for i := range delta {
+		delta[i] = 1e-3 * rng.NormFloat64()
+	}
+	q := quant.QuantizeChunks(delta, bits, chunk)
+	body := make([]byte, 0, 21+len(initParams))
+	body = append(body, updateMagic...)
+	body = append(body, envVersion)
+	body = binary.LittleEndian.AppendUint32(body, 0)
+	body = binary.LittleEndian.AppendUint32(body, 0)
+	var wbits [8]byte
+	binary.LittleEndian.PutUint64(wbits[:], uint64(0x3FF0000000000000))
+	body = append(body, wbits[:]...)
+	body = append(body, quant.Encode(q)...)
+	body = append(body, quant.EncodeRaw(nil)...)
+
+	reader := newNopReader(body)
+	req, err := http.NewRequest(http.MethodPost, "http://bench/update", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", contentTypeDelta)
+	req.ContentLength = int64(len(body))
+
+	w := &nullWriter{h: http.Header{}}
+	push := func(i int) {
+		binary.LittleEndian.PutUint32(body[5:9], uint32(i%quorum))  // client id
+		binary.LittleEndian.PutUint32(body[9:13], uint32(i/quorum)) // round
+		reader.off = 0
+		req.Body = reader
+		w.code = 0
+		h.ServeHTTP(w, req)
+		if w.code != http.StatusOK && w.code != 0 {
+			log.Fatalf("benchserve: alloc-measure push %d: status %d", i, w.code)
+		}
+	}
+	for i := 0; i < warmup; i++ {
+		push(i)
+	}
+	// A GC cycle mid-measurement would empty the sync.Pools and charge the
+	// refill to whichever server happens to be measured; pause collection so
+	// the counts reflect what the handler itself allocates.
+	runtime.GC()
+	gcPct := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(gcPct)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := warmup; i < warmup+measured; i++ {
+		push(i)
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / measured,
+		float64(after.TotalAlloc-before.TotalAlloc) / measured
+}

@@ -1,0 +1,80 @@
+package main
+
+// Microbenchmarks of one compressed push through each server's HTTP handler
+// — no network, reused request machinery — so `go test -bench Push -benchmem
+// ./cmd/benchserve` shows the steady-state per-push allocation footprint
+// that BENCH_serve.json records (quorum 8: every 8th push folds a round, so
+// aggregation and pooled-buffer recycling are included).
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"testing"
+
+	"fedprophet/internal/fldist"
+	"fedprophet/internal/quant"
+)
+
+func benchPush(b *testing.B, mk func(quorum int) http.Handler) {
+	b.Helper()
+	const n = 50000
+	const quorum = 8
+	rng := rand.New(rand.NewSource(1))
+	initParams := make([]float64, n)
+	for i := range initParams {
+		initParams[i] = rng.NormFloat64()
+	}
+	h := mk(quorum)
+	delta := make([]float64, n)
+	for i := range delta {
+		delta[i] = 1e-3 * rng.NormFloat64()
+	}
+	q := quant.QuantizeChunks(delta, 8, 256)
+	body := []byte(updateMagic)
+	body = append(body, envVersion)
+	body = binary.LittleEndian.AppendUint32(body, 0)
+	body = binary.LittleEndian.AppendUint32(body, 0)
+	body = binary.LittleEndian.AppendUint64(body, 0x3FF0000000000000) // weight 1.0
+	body = append(body, quant.Encode(q)...)
+	body = append(body, quant.EncodeRaw(nil)...)
+	reader := newNopReader(body)
+	req, err := http.NewRequest(http.MethodPost, "http://bench/update", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req.Header.Set("Content-Type", contentTypeDelta)
+	req.ContentLength = int64(len(body))
+	w := &nullWriter{h: http.Header{}}
+	push := func(i int) {
+		binary.LittleEndian.PutUint32(body[5:9], uint32(i%quorum))
+		binary.LittleEndian.PutUint32(body[9:13], uint32(i/quorum))
+		reader.off = 0
+		req.Body = reader
+		w.code = 0
+		h.ServeHTTP(w, req)
+		if w.code != http.StatusOK && w.code != 0 {
+			b.Fatalf("push %d: status %d", i, w.code)
+		}
+	}
+	for i := 0; i < 5*quorum; i++ {
+		push(i)
+	}
+	runtime.GC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		push(5*quorum + i)
+	}
+}
+
+func BenchmarkPushSingleMutex(b *testing.B) {
+	benchPush(b, func(q int) http.Handler { return newBaselineHandler(make([]float64, 50000), q) })
+}
+
+func BenchmarkPushSharded(b *testing.B) {
+	benchPush(b, func(q int) http.Handler {
+		return fldist.NewServer(make([]float64, 50000), nil, q).Handler()
+	})
+}

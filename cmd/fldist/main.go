@@ -18,6 +18,11 @@
 // pushes, negotiated per client, with -chunk values per quantization scale.
 // The server accepts compressed and raw clients in the same round and
 // reports bytes-on-wire on GET /stats (and in its shutdown log line).
+//
+// The server aggregates under parameter-range sharding (-shards, default
+// GOMAXPROCS; the model is bit-identical at any count) and exposes
+// per-update admit-latency percentiles on /stats. -pprof serves
+// net/http/pprof for live profiling of either role.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,8 +57,19 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed (must match across processes)")
 		bits     = flag.Int("bits", 0, "compressed delta wire protocol bit width, 2..8 (0 = raw gob)")
 		chunk    = flag.Int("chunk", 0, "values per quantization scale (0 = default 256)")
+		shards   = flag.Int("shards", 0, "server aggregation shards (0 = GOMAXPROCS; result is identical at any count)")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) for live profiling")
 	)
 	flag.Parse()
+
+	if *pprof != "" {
+		go func() {
+			// The default mux carries the pprof handlers via the blank
+			// import; this listener serves only them.
+			log.Printf("pprof on %s", *pprof)
+			log.Println(http.ListenAndServe(*pprof, nil))
+		}()
+	}
 
 	build := func() *nn.Model {
 		return nn.CNN3([]int{3, 16, 16}, 10, 4, rand.New(rand.NewSource(*seed)))
@@ -64,9 +81,10 @@ func main() {
 	switch {
 	case *serve:
 		m := build()
-		srv := fldist.NewServer(nn.ExportParams(m), nn.ExportBNStats(m), *quorum)
-		log.Printf("parameter server on %s (quorum %d, model %s, %d params)",
-			*addr, *quorum, m.Label, nn.NumParams(m))
+		srv := fldist.NewServer(nn.ExportParams(m), nn.ExportBNStats(m), *quorum,
+			fldist.WithShards(*shards))
+		log.Printf("parameter server on %s (quorum %d, model %s, %d params, %d shards)",
+			*addr, *quorum, m.Label, nn.NumParams(m), srv.Shards())
 		if err := srv.ListenAndServe(ctx, *addr); err != nil {
 			log.Fatal(err)
 		}
@@ -75,6 +93,8 @@ func main() {
 		log.Printf("wire traffic: in %d B raw + %d B compressed, out %d B raw + %d B compressed (%d raw / %d compressed updates)",
 			st.BytesInRaw, st.BytesInCompressed, st.BytesOutRaw, st.BytesOutCompressed,
 			st.UpdatesRaw, st.UpdatesCompressed)
+		log.Printf("admit latency: p50 %.0fµs p99 %.0fµs over %d shards",
+			st.AdmitP50Micros, st.AdmitP99Micros, st.Shards)
 
 	case *connect != "":
 		cfg := fl.DefaultConfig()

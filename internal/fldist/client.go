@@ -3,6 +3,7 @@ package fldist
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -87,20 +88,10 @@ func (c *Client) Pull(ctx context.Context) (int, error) {
 		return 0, fmt.Errorf("fldist: pull: %s: %s", resp.Status, body)
 	}
 	if resp.Header.Get("Content-Type") == contentTypeModel {
-		body, err := io.ReadAll(resp.Body)
+		round, err := c.streamModelEnvelope(resp.Body)
 		if err != nil {
 			return 0, fmt.Errorf("fldist: pull: %w", err)
 		}
-		round, pf, bf, err := decodeModelEnvelope(body)
-		if err != nil {
-			return 0, fmt.Errorf("fldist: pull: %w", err)
-		}
-		if err := c.checkModelShape(pf.Len(), bf.Len()); err != nil {
-			return 0, err
-		}
-		c.negotiated = true
-		c.baseParams = pf.Vector()
-		c.baseBN = bf.Vector()
 		nn.ImportParams(c.Model, c.baseParams)
 		if len(c.baseBN) > 0 {
 			nn.ImportBNStats(c.Model, c.baseBN)
@@ -122,12 +113,81 @@ func (c *Client) Pull(ctx context.Context) (int, error) {
 	return blob.Round, nil
 }
 
+// streamModelEnvelope decodes a compressed pull body incrementally: the
+// 9-byte envelope header, then the params and BN frames chunk-by-chunk into
+// c.baseParams / c.baseBN — which are reused across rounds, so a
+// steady-state client pulls with O(chunk) transient allocation instead of
+// buffering the wire body and materializing fresh vectors every round.
+func (c *Client) streamModelEnvelope(body io.Reader) (int, error) {
+	// The reused base buffers are overwritten in place below, so a pull that
+	// fails mid-stream leaves them half-old/half-new. Dropping `negotiated`
+	// up front (restored only on full success) makes that state harmless: a
+	// caller that pushes after a failed pull takes the raw path, which
+	// carries exact parameters and needs no base.
+	c.negotiated = false
+	var hdr [9]byte
+	if _, err := io.ReadFull(body, hdr[:]); err != nil {
+		return 0, fmt.Errorf("model envelope header: %w", err)
+	}
+	if string(hdr[:4]) != modelMagic {
+		return 0, fmt.Errorf("model envelope magic %q", hdr[:4])
+	}
+	if hdr[4] != envVersion {
+		return 0, fmt.Errorf("model envelope version %d, want %d", hdr[4], envVersion)
+	}
+	round := int(binary.LittleEndian.Uint32(hdr[5:9]))
+	pd, err := quant.NewStreamDecoder(body)
+	if err != nil {
+		return 0, fmt.Errorf("model params frame: %w", err)
+	}
+	// Shape-check before decoding so a server seeded with a different
+	// architecture is an error, not a corrupted local replica.
+	wantP := nn.NumParams(c.Model)
+	wantB := nn.NumBNStats(c.Model)
+	if pd.Len() != wantP {
+		return 0, fmt.Errorf("server model has %d params, local replica has %d", pd.Len(), wantP)
+	}
+	c.baseParams = resize(c.baseParams, pd.Len())
+	if err := pd.DecodeAll(c.baseParams); err != nil {
+		return 0, fmt.Errorf("model params frame: %w", err)
+	}
+	bd, err := quant.NewStreamDecoder(body)
+	if err != nil {
+		return 0, fmt.Errorf("model bn frame: %w", err)
+	}
+	if bd.Len() != wantB {
+		return 0, fmt.Errorf("server model has %d bn stats, local replica has %d", bd.Len(), wantB)
+	}
+	c.baseBN = resize(c.baseBN, bd.Len())
+	if err := bd.DecodeAll(c.baseBN); err != nil {
+		return 0, fmt.Errorf("model bn frame: %w", err)
+	}
+	// io.ReadFull distinguishes "no byte left" (0, io.EOF) from a reader
+	// that returns data alongside io.EOF or (0, nil) — a bare Read would
+	// miss trailing garbage on the former and spuriously fail on the latter.
+	var one [1]byte
+	if _, err := io.ReadFull(body, one[:]); err != io.EOF {
+		return 0, fmt.Errorf("model envelope has trailing bytes")
+	}
+	c.negotiated = true
+	return round, nil
+}
+
+// resize returns v with exactly length n, reusing its backing array when it
+// is already big enough.
+func resize(v []float64, n int) []float64 {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return make([]float64, n)
+}
+
 // checkModelShape rejects a pulled model whose vector lengths do not match
 // the local replica — a server seeded with a different architecture — as an
 // error instead of letting nn.ImportParams panic the client process.
 func (c *Client) checkModelShape(nParams, nBN int) error {
-	wantP := len(nn.ExportParams(c.Model))
-	wantB := len(nn.ExportBNStats(c.Model))
+	wantP := nn.NumParams(c.Model)
+	wantB := nn.NumBNStats(c.Model)
 	if nParams != wantP || nBN != wantB {
 		return fmt.Errorf("fldist: pull: server model shape %d params + %d bn stats, local replica has %d + %d",
 			nParams, nBN, wantP, wantB)
@@ -356,9 +416,14 @@ func (c *Client) Round(ctx context.Context) (int, error) {
 }
 
 // awaitRoundAfter polls the server's round counter (not the full model)
-// until it exceeds round, with exponential backoff between polls. It returns
-// when the aggregation that includes this client's update has completed, or
-// with ctx's error on cancellation.
+// until it exceeds round, with *jittered* exponential backoff between polls.
+// The jitter matters at fleet scale: a synchronous round releases every
+// client at the same instant, so a fixed backoff schedule keeps the whole
+// fleet polling /round in lockstep — a thundering herd that shows up clearly
+// at benchserve N=64. Drawing each sleep uniformly from [backoff/2, backoff)
+// decorrelates the fleet while keeping the same mean. It returns when the
+// aggregation that includes this client's update has completed, or with
+// ctx's error on cancellation.
 func (c *Client) awaitRoundAfter(ctx context.Context, round int) error {
 	backoff := 2 * time.Millisecond
 	const maxBackoff = 100 * time.Millisecond
@@ -374,10 +439,23 @@ func (c *Client) awaitRoundAfter(ctx context.Context, round int) error {
 		case <-ctx.Done():
 			return fmt.Errorf("fldist: client %d canceled waiting for round %d: %w",
 				c.ID, round+1, ctx.Err())
-		case <-time.After(backoff):
+		case <-time.After(c.jitter(backoff)):
 		}
 		if backoff < maxBackoff {
 			backoff *= 2
 		}
 	}
+}
+
+// jitter draws a sleep uniformly from [d/2, d). It deliberately does NOT use
+// c.Rng: the number of polls depends on wall-clock timing, so consuming the
+// training RNG here would make a seeded client's batch order — and therefore
+// its trained parameters — timing-dependent. The global source is
+// thread-safe and only influences sleep lengths, never results.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(half))
 }

@@ -19,12 +19,21 @@
 //     and feeds the result into the same weighted average as raw updates —
 //     a mixed fleet aggregates correctly.
 //
-// GET /stats exposes bytes-on-wire counters split raw vs compressed.
+// The server aggregates under parameter-range sharding (shard.go): the
+// global model is a copy-on-write snapshot read lock-free by every handler,
+// push bodies stream-decode chunk-by-chunk into pooled buffers with O(chunk)
+// transient memory, and the only global critical section on the push path is
+// a constant-size admission registry (O(shards) pointer appends, nothing
+// proportional to the model). Stats are atomics, so a /stats poll never
+// blocks in-flight aggregation. GET /stats exposes bytes-on-wire counters
+// split raw vs compressed plus admit-latency percentiles.
 package fldist
 
 import (
+	"bufio"
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
@@ -32,10 +41,11 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"fedprophet/internal/fl"
 	"fedprophet/internal/quant"
 )
 
@@ -59,54 +69,73 @@ type Update struct {
 // UpdatesPerRound client updates for the current round, aggregates them with
 // data-size weighting, and advances the round. Late or mismatched-round
 // updates are rejected with 409 so clients re-pull.
+//
+// Lock hierarchy (see docs/ARCHITECTURE.md):
+//
+//	serveMu → pendMu → shard.mu
+//
+// model is an atomic copy-on-write snapshot — reads take no lock at all.
+// pendMu guards only the small admission registry (dedup set + quorum
+// counter); the model-sized decode/validate/reconstruct work of every push
+// happens before it, concurrently across requests. Each shard's mutex guards
+// that shard's pending-contribution list. serveMu guards the per-codec
+// served-model cache and downlink error-feedback state, touched once per
+// client per round on pulls, never on the push fast path. All counters are
+// atomics.
 type Server struct {
-	mu              sync.Mutex
-	round           int
-	params          []float64
-	bn              []float64
 	updatesPerRound int
+	nShards         int
 
-	pendingParams [][]float64
-	pendingBN     [][]float64
-	pendingW      []float64
-	// pendingIDs tracks which clients already contributed to the current
-	// round, so a client that retries after a slow 200 cannot be
-	// double-counted in the FedAvg weights. The first update wins; repeats
-	// are acknowledged idempotently.
-	pendingIDs map[int]bool
+	// model is the current immutable global state; round advance installs a
+	// fresh snapshot. The swap happens under pendMu (and, for the serving
+	// state, under serveMu) so registrations and cache builds always observe
+	// a consistent (round, pending, served) triple.
+	model atomic.Pointer[snapshot]
 
-	// RoundsCompleted counts aggregations, exposed for tests/monitoring.
-	roundsCompleted int
-	// duplicatesDropped counts idempotently ignored retries.
-	duplicatesDropped int
+	// pendMu guards the admission registry: which clients already counted
+	// toward the current round, how many, and the pooled buffers to release
+	// when it folds.
+	pendMu      sync.Mutex
+	pendingIDs  map[int]bool
+	pendingN    int
+	pendingBufs []*updateBuf
+
+	// shards partition the parameter vector; bnShard holds the (small)
+	// BatchNorm statistics vector whole.
+	shards  []shard
+	bnShard shard
 
 	// served caches, per (bits, chunk) requested this round, the encoded
 	// compressed model body and the dequantized base the clients actually
-	// received — the base deltas must be applied to. Building an entry is a
-	// pure function of (global model, downErr, codec params), so a cache
-	// miss recomputes identical bytes. The cache is dropped when the round
-	// advances.
-	served map[Compression]*servedModel
-	// downErr is the downlink error-feedback state, per codec parameters:
-	// the residual of quantizing the global model for the last served
-	// round, folded into the next round's served model so pull-side
-	// compression error cancels over rounds instead of re-truncating the
-	// model to the quantization grid every round. It is committed from the
-	// served cache when the round advances and holds only the codec
-	// variants actually used that round, so client-supplied (bits, chunk)
-	// pairs cannot grow server state without bound.
+	// received. Building an entry is a pure function of (snapshot, downErr,
+	// codec params), so a cache miss recomputes identical bytes. downErr is
+	// the downlink error-feedback residual per codec variant, committed from
+	// the served cache when the round advances (see advanceRound).
+	serveMu sync.Mutex
+	served  map[Compression]*servedModel
 	downErr map[Compression][]float64
 
-	// Traffic counters (model-plane bodies only; see Stats).
-	bytesInRaw, bytesInComp   int64
-	bytesOutRaw, bytesOutComp int64
-	updatesRaw, updatesComp   int64
+	// Counters and latency window — atomics, so Stats never contends with
+	// aggregation.
+	roundsCompleted   atomic.Int64
+	duplicatesDropped atomic.Int64
+	bytesInRaw        atomic.Int64
+	bytesInComp       atomic.Int64
+	bytesOutRaw       atomic.Int64
+	bytesOutComp      atomic.Int64
+	updatesRaw        atomic.Int64
+	updatesComp       atomic.Int64
+	admitLat          latRing
+
+	// bufPool recycles decoded-update buffers across pushes.
+	bufPool sync.Pool
 }
 
 // servedModel is one round's compressed pull body, its exact client-visible
 // (dequantized) parameter values, and the downlink residual to carry into
 // the next round if this round commits.
 type servedModel struct {
+	round   int
 	body    []byte
 	params  []float64
 	bn      []float64
@@ -120,19 +149,44 @@ type servedModel struct {
 const maxCodecVariants = 8
 
 // NewServer creates a parameter server seeded with the initial global model.
-func NewServer(initParams, initBN []float64, updatesPerRound int) *Server {
+// By default the aggregation plane is split into GOMAXPROCS parameter
+// shards; WithShards overrides the count. The aggregate is bit-identical at
+// any shard count.
+func NewServer(initParams, initBN []float64, updatesPerRound int, opts ...ServerOption) *Server {
 	if updatesPerRound < 1 {
 		panic("fldist: updatesPerRound must be ≥ 1")
 	}
-	return &Server{
-		params:          append([]float64(nil), initParams...),
-		bn:              append([]float64(nil), initBN...),
+	var cfg serverConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	nShards := resolveShards(cfg.shards, len(initParams))
+	s := &Server{
 		updatesPerRound: updatesPerRound,
+		nShards:         nShards,
 		pendingIDs:      map[int]bool{},
+		shards:          makeShards(len(initParams), nShards),
+		bnShard:         shard{lo: 0, hi: len(initBN)},
 		served:          map[Compression]*servedModel{},
 		downErr:         map[Compression][]float64{},
 	}
+	s.model.Store(&snapshot{
+		round:  0,
+		params: append([]float64(nil), initParams...),
+		bn:     append([]float64(nil), initBN...),
+	})
+	s.bufPool.New = func() any {
+		return &updateBuf{
+			params: make([]float64, len(initParams)),
+			bn:     make([]float64, len(initBN)),
+		}
+	}
+	return s
 }
+
+// Shards returns the number of parameter shards the aggregation plane runs
+// under.
+func (s *Server) Shards() int { return s.nShards }
 
 // Handler returns the HTTP routes of the parameter server.
 func (s *Server) Handler() http.Handler {
@@ -146,14 +200,38 @@ func (s *Server) Handler() http.Handler {
 
 // handleRound serves just the current round number, so clients waiting out a
 // synchronous aggregation can poll cheaply instead of re-downloading the
-// whole model blob.
+// whole model blob. Lock-free.
 func (s *Server) handleRound(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain")
-	fmt.Fprintf(w, "%d", s.Round())
+	fmt.Fprintf(w, "%d", s.model.Load().round)
+}
+
+// countWriter counts bytes written through it.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// countReader counts bytes read through it.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
@@ -170,184 +248,170 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if compressed {
-		s.mu.Lock()
-		if _, known := s.served[comp]; !known && len(s.served) >= maxCodecVariants {
-			s.mu.Unlock()
-			http.Error(w, fmt.Sprintf("fldist: more than %d codec variants in one round", maxCodecVariants),
-				http.StatusBadRequest)
+		sm, err := s.getServed(comp, -1)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		sm := s.servedModelLocked(comp)
-		body := sm.body
-		s.bytesOutComp += int64(len(body))
-		s.mu.Unlock()
+		s.bytesOutComp.Add(int64(len(sm.body)))
 		w.Header().Set(codecHeader, codecValue(comp))
 		w.Header().Set("Content-Type", contentTypeModel)
-		_, _ = w.Write(body)
+		_, _ = w.Write(sm.body)
 		return
 	}
-	s.mu.Lock()
-	blob := ModelBlob{
-		Round:  s.round,
-		Params: append([]float64(nil), s.params...),
-		BN:     append([]float64(nil), s.bn...),
-	}
-	s.mu.Unlock()
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(blob); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	s.mu.Lock()
-	s.bytesOutRaw += int64(buf.Len())
-	s.mu.Unlock()
+	// Raw pull: gob-encode straight from the immutable snapshot into the
+	// response — no model-sized staging buffer, no lock.
+	snap := s.model.Load()
+	blob := ModelBlob{Round: snap.round, Params: snap.params, BN: snap.bn}
 	w.Header().Set("Content-Type", contentTypeGob)
-	_, _ = w.Write(buf.Bytes())
+	cw := &countWriter{w: w}
+	if err := gob.NewEncoder(cw).Encode(blob); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		s.bytesOutRaw.Add(cw.n)
+		return
+	}
+	s.bytesOutRaw.Add(cw.n)
 }
 
-// servedModelLocked returns (building on first use this round) the
-// compressed pull body for the given codec parameters and the exact
-// client-visible base values it exposes. Parameters are chunk-quantized; the
-// BatchNorm statistics travel as a raw frame — they are a few dozen values
-// whose distortion (a running variance crushed toward zero) destabilizes
-// normalization out of all proportion to the bytes saved. Callers must hold
-// s.mu.
-func (s *Server) servedModelLocked(c Compression) *servedModel {
-	if sm, ok := s.served[c]; ok {
-		return sm
+// getServed returns (building on first use this round) the compressed pull
+// body for the given codec parameters and the exact client-visible base
+// values it exposes. wantRound ≥ 0 demands the entry belong to that round —
+// the delta-update path uses this so a push never reconstructs against a
+// base from a different round; wantRound < 0 accepts the current round.
+//
+// Parameters are chunk-quantized with downlink error feedback: the residual
+// of quantizing the previous round's model at these codec parameters is
+// folded in before quantizing, so pull-side compression error cancels over
+// rounds instead of re-truncating the model to the quantization grid every
+// round. The residual is only *read* here — the new one (nextErr) is
+// committed when the round advances — so rebuilding within a round is
+// idempotent and every participant sees the same base. The BatchNorm
+// statistics travel as a raw frame — they are a few dozen values whose
+// distortion (a running variance crushed toward zero) destabilizes
+// normalization out of all proportion to the bytes saved.
+func (s *Server) getServed(c Compression, wantRound int) (*servedModel, error) {
+	s.serveMu.Lock()
+	defer s.serveMu.Unlock()
+	snap := s.model.Load()
+	if wantRound >= 0 && snap.round != wantRound {
+		return nil, errStaleServe
 	}
-	// Downlink error feedback: quantize the global model plus the residual
-	// left over from the previous round served at these codec parameters.
-	// The residual itself is only *read* here — the new one (nextErr) is
-	// committed when the round advances — so rebuilding within a round is
-	// idempotent and every participant sees the same base.
-	v := append([]float64(nil), s.params...)
-	if e := s.downErr[c]; len(e) == len(v) {
+	if sm, ok := s.served[c]; ok {
+		if sm.round == snap.round {
+			return sm, nil
+		}
+		// Unreachable by the lock hierarchy (advanceRound clears the cache
+		// under serveMu before swapping), but a stale entry must never serve
+		// a base from another round — rebuild in place below.
+	} else if len(s.served) >= maxCodecVariants {
+		return nil, fmt.Errorf("fldist: more than %d codec variants in one round", maxCodecVariants)
+	}
+	sm := buildServed(snap, s.downErr[c], c)
+	s.served[c] = sm
+	return sm, nil
+}
+
+// errStaleServe reports a served-base lookup for a round the server has
+// already aggregated past.
+var errStaleServe = fmt.Errorf("fldist: served base for a stale round")
+
+// buildServed constructs one codec variant's served model from an immutable
+// snapshot: the envelope bytes (streamed through the incremental encoder),
+// the dequantized base, and the downlink residual to commit if the round
+// completes.
+func buildServed(snap *snapshot, prevErr []float64, c Compression) *servedModel {
+	n := len(snap.params)
+	v := make([]float64, n)
+	copy(v, snap.params)
+	if len(prevErr) == n {
 		for i := range v {
-			v[i] += e[i]
+			v[i] += prevErr[i]
 		}
 	}
-	qp := quant.QuantizeChunks(v, c.Bits, c.Chunk)
 	sm := &servedModel{
-		body:   encodeModelEnvelope(s.round, quant.Encode(qp), quant.EncodeRaw(s.bn)),
-		params: qp.Dequantize(),
-		bn:     append([]float64(nil), s.bn...),
+		round:  snap.round,
+		params: make([]float64, n),
+		bn:     snap.bn, // immutable snapshot slice — safe to share
 	}
+	var buf bytes.Buffer
+	// Envelope header + params frame (header, then per chunk one scale and
+	// byte-padded codes) + raw BN frame, with a little slack — one
+	// allocation, no grows.
+	nc := quant.NumChunks(n, c.Chunk)
+	buf.Grow(9 + 14 + nc*(8+(c.Chunk*c.Bits+7)/8) + 14 + 8*len(snap.bn) + 64)
+	buf.WriteString(modelMagic)
+	buf.WriteByte(envVersion)
+	var rd [4]byte
+	binary.LittleEndian.PutUint32(rd[:], uint32(snap.round))
+	buf.Write(rd[:])
+	if err := quant.EncodeStream(&buf, v, c.Bits, c.Chunk, sm.params); err != nil {
+		// c was validated by normalize() and n fits a frame; unreachable.
+		panic(fmt.Sprintf("fldist: building served model: %v", err))
+	}
+	buf.Write(quant.EncodeRaw(snap.bn))
 	for i := range v {
 		v[i] -= sm.params[i]
 	}
 	sm.nextErr = v
-	s.served[c] = sm
+	sm.body = buf.Bytes()
 	return sm
 }
 
+// bodyLimit caps one /update body at a generous multiple of the model size
+// so an oversized POST cannot exhaust server memory: the largest legitimate
+// body is the raw gob update (~10 bytes per float64 plus framing), well
+// under 16 bytes/value.
+func bodyLimit(snap *snapshot) int64 {
+	return 4096 + 16*int64(len(snap.params)+len(snap.bn))
+}
+
+// pushScratch is the pooled per-request machinery of the streaming delta
+// path: a byte-counting reader, a buffered reader batching small chunk reads
+// off the HTTP body, and two reusable frame decoders. One Get/Put pair per
+// push keeps the handler's own allocation count flat.
+type pushScratch struct {
+	cr countReader
+	br *bufio.Reader
+	pd quant.StreamDecoder
+	bd quant.StreamDecoder
+}
+
+var pushScratchPool = sync.Pool{
+	New: func() any { return &pushScratch{br: bufio.NewReaderSize(nil, 32<<10)} },
+}
+
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
 	if r.Header.Get("Content-Type") == contentTypeDelta {
-		s.handleDeltaUpdate(w, r)
+		s.handleDeltaUpdate(w, r, start)
 		return
 	}
-	body, err := s.readUpdateBody(w, r)
-	if err != nil {
-		http.Error(w, fmt.Sprintf("reading update: %v", err), http.StatusBadRequest)
-		return
-	}
+	snap := s.model.Load()
+	cr := &countReader{r: http.MaxBytesReader(w, r.Body, bodyLimit(snap))}
+	defer func() { s.bytesInRaw.Add(cr.n) }()
 	var u Update
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&u); err != nil {
+	if err := gob.NewDecoder(cr).Decode(&u); err != nil {
 		http.Error(w, fmt.Sprintf("bad update: %v", err), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.bytesInRaw += int64(len(body))
-	s.admitLocked(w, u.ClientID, u.Round, u.Weight, u.Params, u.BN, false)
-}
-
-// handleDeltaUpdate accepts a compressed push: quantized deltas that the
-// server dequantizes and applies to the exact base it served this round at
-// the same codec parameters, feeding the reconstructed full vectors into
-// the same aggregation path as raw updates.
-func (s *Server) handleDeltaUpdate(w http.ResponseWriter, r *http.Request) {
-	body, err := s.readUpdateBody(w, r)
-	if err != nil {
-		http.Error(w, fmt.Sprintf("reading update: %v", err), http.StatusBadRequest)
-		return
-	}
-	u, err := decodeUpdateEnvelope(body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if u.Params.IsRaw() {
-		http.Error(w, "fldist: delta update must carry a quantized params frame", http.StatusBadRequest)
-		return
-	}
-	comp, err := Compression{Bits: u.Params.Bits, Chunk: u.Params.Chunk}.normalize()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.bytesInComp += int64(len(body))
-	if u.Round != s.round {
-		http.Error(w, fmt.Sprintf("stale round %d, server at %d", u.Round, s.round),
+	if u.Round != snap.round {
+		http.Error(w, fmt.Sprintf("stale round %d, server at %d", u.Round, snap.round),
 			http.StatusConflict)
 		return
 	}
-	if u.Params.Len() != len(s.params) || u.BN.Len() != len(s.bn) {
+	if len(u.Params) != len(snap.params) || len(u.BN) != len(snap.bn) {
 		http.Error(w, "shape mismatch", http.StatusBadRequest)
 		return
 	}
-	if _, known := s.served[comp]; !known && len(s.served) >= maxCodecVariants {
-		http.Error(w, fmt.Sprintf("fldist: more than %d codec variants in one round", maxCodecVariants),
-			http.StatusBadRequest)
+	if err := checkWeight(u.Weight); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	// Reconstruct the client's full vectors: the base it pulled (this
-	// round's served dequantized model at the same codec parameters —
-	// deterministic, so recomputing on a cache miss yields the same values)
-	// plus its dequantized delta.
-	sm := s.servedModelLocked(comp)
-	params := u.Params.Vector()
-	for i := range params {
-		params[i] += sm.params[i]
-	}
-	bn := u.BN.Vector()
-	for i := range bn {
-		bn[i] += sm.bn[i]
-	}
-	s.admitLocked(w, u.ClientID, u.Round, u.Weight, params, bn, true)
-}
-
-// admitLocked runs the transport-independent admission path: weight and
-// duplicate checks, pending accumulation, and the synchronous FedAvg
-// aggregation once the quorum is reached; `compressed` attributes the
-// update to the right Stats counter, charged only once the update is
-// actually counted toward the round (rejected and duplicate pushes are
-// not updates). Callers must hold s.mu and have verified round and shapes.
-func (s *Server) admitLocked(w http.ResponseWriter, clientID, round int, weight float64, params, bn []float64, compressed bool) {
-	if round != s.round {
-		http.Error(w, fmt.Sprintf("stale round %d, server at %d", round, s.round),
-			http.StatusConflict)
-		return
-	}
-	if len(params) != len(s.params) || len(bn) != len(s.bn) {
-		http.Error(w, "shape mismatch", http.StatusBadRequest)
-		return
-	}
-	// NaN compares false to everything, so `weight > 0` (not `<= 0`) is the
-	// shape of the check; and one non-finite parameter — reachable through
-	// either wire protocol's attacker-shaped float64 bits — would poison
-	// the weighted average for every client with no recovery.
-	if !(weight > 0) || math.IsInf(weight, 0) {
-		http.Error(w, "weight must be a positive finite value", http.StatusBadRequest)
-		return
-	}
-	for _, vec := range [][]float64{params, bn} {
+	for _, vec := range [][]float64{u.Params, u.BN} {
 		for _, x := range vec {
 			if math.IsNaN(x) || math.IsInf(x, 0) {
 				http.Error(w, "non-finite value in update", http.StatusBadRequest)
@@ -355,58 +419,337 @@ func (s *Server) admitLocked(w http.ResponseWriter, clientID, round int, weight 
 			}
 		}
 	}
+	// The gob decoder already allocated the vectors; hand them to the shards
+	// directly (no pooled buffer to release).
+	buf := &updateBuf{params: u.Params, bn: u.BN}
+	s.finishUpdate(w, u.ClientID, u.Round, u.Weight, buf, false, &s.updatesRaw, start)
+}
+
+// handleDeltaUpdate accepts a compressed push: quantized deltas that the
+// server stream-decodes chunk-by-chunk — O(chunk) transient memory, never
+// the whole wire body — and applies to the exact base it served this round
+// at the same codec parameters, feeding the reconstructed full vectors into
+// the same aggregation path as raw updates.
+//
+// Unlike the raw path, no MaxBytesReader is needed: every read is
+// closed-form bounded before it happens — the fixed 21-byte envelope header,
+// two 14-byte frame headers, and chunk payloads whose sizes follow from the
+// frame's value count, which is validated against the model shape before any
+// payload byte is read. A body longer than its frames fails the trailing-
+// bytes probe with 400; the excess is never buffered.
+func (s *Server) handleDeltaUpdate(w http.ResponseWriter, r *http.Request, start time.Time) {
+	snap := s.model.Load()
+	sc := pushScratchPool.Get().(*pushScratch)
+	sc.cr = countReader{r: r.Body}
+	sc.br.Reset(&sc.cr)
+	br := sc.br
+	defer func() {
+		s.bytesInComp.Add(sc.cr.n)
+		sc.br.Reset(nil) // drop the request body reference before pooling
+		pushScratchPool.Put(sc)
+	}()
+
+	var hdr [21]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		http.Error(w, fmt.Sprintf("fldist: update envelope header: %v", err), http.StatusBadRequest)
+		return
+	}
+	if string(hdr[:4]) != updateMagic {
+		http.Error(w, fmt.Sprintf("fldist: update envelope magic %q", hdr[:4]), http.StatusBadRequest)
+		return
+	}
+	if hdr[4] != envVersion {
+		http.Error(w, fmt.Sprintf("fldist: update envelope version %d, want %d", hdr[4], envVersion),
+			http.StatusBadRequest)
+		return
+	}
+	clientID := int(binary.LittleEndian.Uint32(hdr[5:9]))
+	round := int(binary.LittleEndian.Uint32(hdr[9:13]))
+	weight := math.Float64frombits(binary.LittleEndian.Uint64(hdr[13:21]))
+	if round != snap.round {
+		http.Error(w, fmt.Sprintf("stale round %d, server at %d", round, snap.round),
+			http.StatusConflict)
+		return
+	}
+	if err := checkWeight(weight); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	dec := &sc.pd
+	if err := dec.Reset(br); err != nil {
+		http.Error(w, fmt.Sprintf("fldist: update params frame: %v", err), http.StatusBadRequest)
+		return
+	}
+	if dec.IsRaw() {
+		http.Error(w, "fldist: delta update must carry a quantized params frame", http.StatusBadRequest)
+		return
+	}
+	comp, err := Compression{Bits: dec.Bits(), Chunk: dec.Chunk()}.normalize()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if dec.Len() != len(snap.params) {
+		http.Error(w, "shape mismatch", http.StatusBadRequest)
+		return
+	}
+	// The base the client pulled: this round's served dequantized model at
+	// the same codec parameters — deterministic, so recomputing on a cache
+	// miss yields the same values.
+	sm, err := s.getServed(comp, round)
+	if err == errStaleServe {
+		http.Error(w, fmt.Sprintf("stale round %d", round), http.StatusConflict)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	buf := s.bufPool.Get().(*updateBuf)
+	// Stream the delta chunks into the pooled buffer, reconstructing
+	// base+delta and rejecting non-finite results as each chunk lands.
+	off := 0
+	for l := dec.NextLen(); l > 0; l = dec.NextLen() {
+		dst := buf.params[off : off+l]
+		if err := dec.Next(dst); err != nil {
+			s.bufPool.Put(buf)
+			http.Error(w, fmt.Sprintf("fldist: update params frame: %v", err), http.StatusBadRequest)
+			return
+		}
+		base := sm.params[off : off+l]
+		for i := range dst {
+			v := dst[i] + base[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				s.bufPool.Put(buf)
+				http.Error(w, "non-finite value in update", http.StatusBadRequest)
+				return
+			}
+			dst[i] = v
+		}
+		off += l
+	}
+
+	bnDec := &sc.bd
+	if err := bnDec.Reset(br); err != nil {
+		s.bufPool.Put(buf)
+		http.Error(w, fmt.Sprintf("fldist: update bn frame: %v", err), http.StatusBadRequest)
+		return
+	}
+	if bnDec.Len() != len(snap.bn) {
+		s.bufPool.Put(buf)
+		http.Error(w, "shape mismatch", http.StatusBadRequest)
+		return
+	}
+	if err := bnDec.DecodeAll(buf.bn); err != nil {
+		s.bufPool.Put(buf)
+		http.Error(w, fmt.Sprintf("fldist: update bn frame: %v", err), http.StatusBadRequest)
+		return
+	}
+	for i := range buf.bn {
+		v := buf.bn[i] + sm.bn[i]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			s.bufPool.Put(buf)
+			http.Error(w, "non-finite value in update", http.StatusBadRequest)
+			return
+		}
+		buf.bn[i] = v
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		s.bufPool.Put(buf)
+		http.Error(w, "fldist: update envelope has trailing bytes", http.StatusBadRequest)
+		return
+	}
+	s.finishUpdate(w, clientID, round, weight, buf, true, &s.updatesComp, start)
+}
+
+// checkWeight rejects non-positive and non-finite FedAvg weights. NaN
+// compares false to everything, so `weight > 0` (not `<= 0`) is the shape of
+// the check; one poisoned weight would corrupt the weighted average for
+// every client with no recovery.
+func checkWeight(w float64) error {
+	if !(w > 0) || math.IsInf(w, 0) {
+		return fmt.Errorf("weight must be a positive finite value")
+	}
+	return nil
+}
+
+// registerOutcome is the admission registry's verdict on one decoded update.
+type registerOutcome int
+
+const (
+	regAdmitted     registerOutcome = iota
+	regAdmittedLast                 // admitted, and this update filled the quorum
+	regDuplicate
+	regStale
+	regQuorumFull // quorum filled, fold in flight: stale once the round advances
+)
+
+// register runs the small global critical section of the push path: the
+// round check, the duplicate check, and the quorum count, then parks the
+// decoded vectors in the shards' pending lists (O(shards) pointer appends).
+// The model-sized work — decode, dequantize, base reconstruction,
+// finiteness — happened before this call, outside any lock. pooled marks
+// buffers leased from bufPool (released after the fold).
+func (s *Server) register(clientID, round int, weight float64, buf *updateBuf, pooled bool) registerOutcome {
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
+	snap := s.model.Load()
+	if round != snap.round {
+		return regStale
+	}
 	if s.pendingIDs[clientID] {
+		s.duplicatesDropped.Add(1)
+		return regDuplicate
+	}
+	if s.pendingN >= s.updatesPerRound {
+		// Quorum already reached; the filling update's handler is folding
+		// the round right now. This update is stale, but the caller waits
+		// out the fold before answering so the 409 is only observable once
+		// /round reports the new round — a straggler that immediately
+		// re-pulls gets the fresh model, never a wasted training cycle on
+		// the old one (matching the pre-shard server, whose mutex provided
+		// the same ordering).
+		return regQuorumFull
+	}
+	s.pendingIDs[clientID] = true
+	s.pendingN++
+	if pooled {
+		s.pendingBufs = append(s.pendingBufs, buf)
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.add(contrib{clientID: clientID, weight: weight, vals: buf.params[sh.lo:sh.hi]})
+	}
+	s.bnShard.add(contrib{clientID: clientID, weight: weight, vals: buf.bn})
+	if s.pendingN == s.updatesPerRound {
+		return regAdmittedLast
+	}
+	return regAdmitted
+}
+
+// finishUpdate runs the transport-independent tail of both push paths:
+// admission, stats attribution, the round-advance barrier when the quorum
+// fills, and the HTTP verdict. pooled marks buffers leased from bufPool;
+// they are returned here on the non-admitted outcomes and by advanceRound
+// after the fold otherwise. counter attributes the update to the right
+// /stats series, charged only once the update actually counts toward the
+// round.
+func (s *Server) finishUpdate(w http.ResponseWriter, clientID, round int, weight float64,
+	buf *updateBuf, pooled bool, counter *atomic.Int64, start time.Time) {
+	outcome := s.register(clientID, round, weight, buf, pooled)
+	switch outcome {
+	case regStale, regQuorumFull:
+		if pooled {
+			s.bufPool.Put(buf)
+		}
+		if outcome == regQuorumFull {
+			s.awaitRoundAdvance(round)
+		}
+		http.Error(w, fmt.Sprintf("stale round %d", round), http.StatusConflict)
+		return
+	case regDuplicate:
 		// Retry of an already-counted update (e.g. the client timed out
 		// waiting for a slow 200). Acknowledge without re-counting so the
 		// FedAvg weights stay correct and the client moves on.
-		s.duplicatesDropped++
+		if pooled {
+			s.bufPool.Put(buf)
+		}
 		w.Header().Set("X-Fldist-Duplicate", "1")
 		w.WriteHeader(http.StatusOK)
 		return
 	}
-	s.pendingIDs[clientID] = true
-	s.pendingParams = append(s.pendingParams, params)
-	s.pendingBN = append(s.pendingBN, bn)
-	s.pendingW = append(s.pendingW, weight)
-	if compressed {
-		s.updatesComp++
-	} else {
-		s.updatesRaw++
-	}
-	if len(s.pendingParams) >= s.updatesPerRound {
-		s.params = fl.WeightedAverage(s.pendingParams, s.pendingW)
-		if len(s.bn) > 0 {
-			s.bn = fl.WeightedAverage(s.pendingBN, s.pendingW)
-		}
-		s.pendingParams, s.pendingBN, s.pendingW = nil, nil, nil
-		s.pendingIDs = map[int]bool{}
-		// Commit the downlink error-feedback residuals of the codec
-		// variants actually served this round (bounded by
-		// maxCodecVariants), replacing last round's state, and drop the
-		// round's served cache.
-		s.downErr = make(map[Compression][]float64, len(s.served))
-		for c, sm := range s.served {
-			s.downErr[c] = sm.nextErr
-		}
-		s.served = map[Compression]*servedModel{}
-		s.round++
-		s.roundsCompleted++
+	counter.Add(1)
+	s.admitLat.record(time.Since(start))
+	if outcome == regAdmittedLast {
+		s.advanceRound()
 	}
 	w.WriteHeader(http.StatusOK)
 }
 
-// readUpdateBody buffers one /update request body, capped at a generous
-// multiple of the model size so an oversized POST cannot exhaust server
-// memory: the largest legitimate body is the raw gob update (~10 bytes per
-// float64 plus framing), well under 16 bytes/value.
-func (s *Server) readUpdateBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
-	s.mu.Lock()
-	limit := 4096 + 16*int64(len(s.params)+len(s.bn))
-	s.mu.Unlock()
-	return io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+// awaitRoundAdvance briefly blocks a quorum-raced update until the
+// in-flight fold publishes the next snapshot, so its 409 is never observed
+// while /round still reports the old round. The fold is O(model) work in
+// another handler — milliseconds — but a deadline bounds the wait anyway.
+func (s *Server) awaitRoundAdvance(round int) {
+	deadline := time.Now().Add(2 * time.Second)
+	for s.model.Load().round == round && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
 }
 
-// handleStats serves the traffic and progress counters as JSON.
+// advanceRound is the round barrier: it folds every shard's pending
+// contributions into a fresh snapshot (shards fold concurrently, each under
+// its own lock, each in clientID order — see shard.foldInto for the
+// determinism argument), commits the downlink error-feedback residuals of
+// the codec variants served this round, publishes the new snapshot, and
+// resets the admission registry. Only the handler whose update filled the
+// quorum runs this; concurrent registrations observe either the full old
+// round (and get 409) or the fresh empty one.
+func (s *Server) advanceRound() {
+	old := s.model.Load()
+	next := &snapshot{
+		round:  old.round + 1,
+		params: make([]float64, len(old.params)),
+		bn:     make([]float64, len(old.bn)),
+	}
+	// Shards fold concurrently when the runtime can actually parallelize
+	// them; on a single-P runtime the goroutine fan-out is pure overhead and
+	// an inline loop produces the same (order-independent) result.
+	if len(s.shards) > 1 && runtime.GOMAXPROCS(0) > 1 {
+		var wg sync.WaitGroup
+		for i := range s.shards {
+			sh := &s.shards[i]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sh.foldInto(next.params)
+			}()
+		}
+		s.bnShard.foldInto(next.bn)
+		wg.Wait()
+	} else {
+		for i := range s.shards {
+			s.shards[i].foldInto(next.params)
+		}
+		s.bnShard.foldInto(next.bn)
+	}
+
+	// Commit the downlink error-feedback residuals of the codec variants
+	// actually served this round (bounded by maxCodecVariants), replacing
+	// last round's state, and drop the round's served cache. The snapshot
+	// swap happens inside both serveMu and pendMu so cache builders and
+	// update registrations each observe a consistent round.
+	s.serveMu.Lock()
+	downErr := make(map[Compression][]float64, len(s.served))
+	for c, sm := range s.served {
+		downErr[c] = sm.nextErr
+	}
+	s.downErr = downErr
+	s.served = map[Compression]*servedModel{}
+
+	s.pendMu.Lock()
+	s.model.Store(next)
+	clear(s.pendingIDs)
+	s.pendingN = 0
+	// The fold above already drained the shards' references to these
+	// buffers, so they can rejoin the pool; truncating keeps the slice's
+	// capacity for next round's appends.
+	for i, b := range s.pendingBufs {
+		s.bufPool.Put(b)
+		s.pendingBufs[i] = nil
+	}
+	s.pendingBufs = s.pendingBufs[:0]
+	s.pendMu.Unlock()
+	s.serveMu.Unlock()
+
+	s.roundsCompleted.Add(1)
+}
+
+// handleStats serves the traffic and progress counters as JSON. Counters are
+// atomics: a stats poll never blocks — or is blocked by — in-flight
+// aggregation.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
@@ -418,49 +761,40 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // Stats returns a snapshot of the server's traffic and progress counters.
+// It reads only atomics and the immutable model snapshot — it never blocks
+// in-flight pushes or pulls.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	p50, p99 := s.admitLat.percentiles()
 	return Stats{
-		Round:              s.round,
-		RoundsCompleted:    s.roundsCompleted,
-		DuplicatesDropped:  s.duplicatesDropped,
-		BytesInRaw:         s.bytesInRaw,
-		BytesInCompressed:  s.bytesInComp,
-		BytesOutRaw:        s.bytesOutRaw,
-		BytesOutCompressed: s.bytesOutComp,
-		UpdatesRaw:         s.updatesRaw,
-		UpdatesCompressed:  s.updatesComp,
+		Round:              s.model.Load().round,
+		RoundsCompleted:    int(s.roundsCompleted.Load()),
+		DuplicatesDropped:  int(s.duplicatesDropped.Load()),
+		Shards:             s.nShards,
+		BytesInRaw:         s.bytesInRaw.Load(),
+		BytesInCompressed:  s.bytesInComp.Load(),
+		BytesOutRaw:        s.bytesOutRaw.Load(),
+		BytesOutCompressed: s.bytesOutComp.Load(),
+		UpdatesRaw:         s.updatesRaw.Load(),
+		UpdatesCompressed:  s.updatesComp.Load(),
+		AdmitP50Micros:     p50,
+		AdmitP99Micros:     p99,
 	}
 }
 
-// Round returns the server's current round.
-func (s *Server) Round() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.round
-}
+// Round returns the server's current round. Lock-free.
+func (s *Server) Round() int { return s.model.Load().round }
 
-// RoundsCompleted returns how many aggregations have happened.
-func (s *Server) RoundsCompleted() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.roundsCompleted
-}
+// RoundsCompleted returns how many aggregations have happened. Lock-free.
+func (s *Server) RoundsCompleted() int { return int(s.roundsCompleted.Load()) }
 
 // DuplicatesDropped returns how many same-round retries were idempotently
-// ignored.
-func (s *Server) DuplicatesDropped() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.duplicatesDropped
-}
+// ignored. Lock-free.
+func (s *Server) DuplicatesDropped() int { return int(s.duplicatesDropped.Load()) }
 
 // Snapshot returns a copy of the current global parameters and BN stats.
 func (s *Server) Snapshot() ([]float64, []float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]float64(nil), s.params...), append([]float64(nil), s.bn...)
+	snap := s.model.Load()
+	return append([]float64(nil), snap.params...), append([]float64(nil), snap.bn...)
 }
 
 // ListenAndServe runs the parameter server on addr until ctx is canceled,

@@ -1,0 +1,198 @@
+package fldist
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The sharded aggregation plane of the parameter server. The flat weight
+// vector is split into nShards contiguous ranges; each shard owns its range's
+// pending contributions under its own lock, so concurrent /update handlers
+// never serialize on a model-sized critical section. The global model itself
+// is a copy-on-write snapshot: handlers read the current *snapshot lock-free
+// via an atomic pointer, and only the round-advance barrier installs a new
+// one. See docs/ARCHITECTURE.md ("Sharded aggregation") for the lock
+// hierarchy and the determinism argument.
+
+// snapshot is one round's immutable global model state. Nothing mutates a
+// snapshot after it is published; pulls, pushes and stats all read it without
+// locks.
+type snapshot struct {
+	round  int
+	params []float64
+	bn     []float64
+}
+
+// contrib is one admitted client's contribution restricted to a shard's
+// value range.
+type contrib struct {
+	clientID int
+	weight   float64
+	vals     []float64
+}
+
+// shard owns one contiguous range [lo, hi) of the flat parameter vector (or
+// the whole BN-statistics vector) and the round's pending contributions for
+// it. Its mutex guards only pend: appends are O(1) pointer pushes, and the
+// O(range) fold work happens once per round inside foldInto.
+type shard struct {
+	mu   sync.Mutex
+	lo   int
+	hi   int
+	pend []contrib
+}
+
+// add appends one contribution for this shard's range.
+func (sh *shard) add(c contrib) {
+	sh.mu.Lock()
+	sh.pend = append(sh.pend, c)
+	sh.mu.Unlock()
+}
+
+// foldInto weight-averages the shard's pending contributions into
+// dst[lo:hi] and resets the pending list. Contributions are folded in
+// ascending clientID order, which makes the result a pure function of the
+// round's admitted (clientID, weight, values) set — independent of arrival
+// order, shard count, and GOMAXPROCS — and element-for-element identical to
+// fl.WeightedAverage over the same clients in ID order (the pre-shard
+// aggregation path).
+func (sh *shard) foldInto(dst []float64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	// Insertion sort by clientID: pending lists are quorum-sized (tens of
+	// entries) and this avoids sort.Slice's per-call closure allocation on
+	// the round barrier.
+	for i := 1; i < len(sh.pend); i++ {
+		for j := i; j > 0 && sh.pend[j].clientID < sh.pend[j-1].clientID; j-- {
+			sh.pend[j], sh.pend[j-1] = sh.pend[j-1], sh.pend[j]
+		}
+	}
+	out := dst[sh.lo:sh.hi]
+	total := 0.0
+	for _, c := range sh.pend {
+		total += c.weight
+		for i, x := range c.vals {
+			out[i] += c.weight * x
+		}
+	}
+	if total != 0 {
+		inv := 1.0 / total
+		for i := range out {
+			out[i] *= inv
+		}
+	}
+	// Keep the backing array for next round's appends; drop the references
+	// so released update buffers are not pinned past the fold.
+	for i := range sh.pend {
+		sh.pend[i] = contrib{}
+	}
+	sh.pend = sh.pend[:0]
+}
+
+// updateBuf is a pooled pair of decoded-update vectors: the reconstructed
+// full parameter and BN values of one client's push. Buffers are leased from
+// Server.bufPool for the decode, parked in the shards' pending lists until
+// the round folds, and returned to the pool afterwards — the steady-state
+// push path allocates no model-sized memory.
+type updateBuf struct {
+	params []float64
+	bn     []float64
+}
+
+// maxShards caps the shard count: beyond this, per-update bookkeeping
+// outweighs any contention win.
+const maxShards = 64
+
+// serverConfig carries NewServer's optional settings.
+type serverConfig struct {
+	shards int
+}
+
+// ServerOption configures NewServer.
+type ServerOption func(*serverConfig)
+
+// WithShards sets the number of parameter shards the server aggregates
+// under. More shards admit more concurrent pushes without lock contention;
+// the aggregate is bit-identical at any shard count. Values < 1 select the
+// default (GOMAXPROCS, capped at 64).
+func WithShards(n int) ServerOption {
+	return func(c *serverConfig) { c.shards = n }
+}
+
+// resolveShards clamps the configured shard count against the model size.
+func resolveShards(configured, nParams int) int {
+	n := configured
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	if n > nParams {
+		n = nParams
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// makeShards splits [0, n) into count contiguous, nearly equal ranges.
+func makeShards(n, count int) []shard {
+	shards := make([]shard, count)
+	base, rem := n/count, n%count
+	lo := 0
+	for i := range shards {
+		size := base
+		if i < rem {
+			size++
+		}
+		shards[i] = shard{lo: lo, hi: lo + size}
+		lo += size
+	}
+	return shards
+}
+
+// latRingSize is the sliding window of admit-latency samples backing the
+// /stats percentiles.
+const latRingSize = 4096
+
+// latRing is a lock-free sliding window of duration samples: writers claim a
+// slot with one atomic add and store racily-but-atomically; readers copy the
+// window and sort. Good enough for operational percentiles, zero contention
+// on the admit path.
+type latRing struct {
+	n   atomic.Uint64
+	buf [latRingSize]atomic.Int64
+}
+
+// record adds one sample.
+func (l *latRing) record(d time.Duration) {
+	i := l.n.Add(1) - 1
+	l.buf[i%latRingSize].Store(int64(d))
+}
+
+// percentiles returns the p50 and p99 of the current window, in
+// microseconds. Both are 0 before any sample.
+func (l *latRing) percentiles() (p50, p99 float64) {
+	n := l.n.Load()
+	if n == 0 {
+		return 0, 0
+	}
+	if n > latRingSize {
+		n = latRingSize
+	}
+	samples := make([]int64, n)
+	for i := range samples {
+		samples[i] = l.buf[i].Load()
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	pick := func(q float64) float64 {
+		idx := int(q * float64(len(samples)-1))
+		return float64(samples[idx]) / float64(time.Microsecond)
+	}
+	return pick(0.50), pick(0.99)
+}

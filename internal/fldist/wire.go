@@ -6,8 +6,6 @@ import (
 	"math"
 	"strconv"
 	"strings"
-
-	"fedprophet/internal/quant"
 )
 
 // Compression configures the compressed delta wire protocol of a client:
@@ -124,41 +122,9 @@ func encodeModelEnvelope(round int, params, bn []byte) []byte {
 	return buf
 }
 
-// decodeModelEnvelope parses a model pull body into its round and frames.
-func decodeModelEnvelope(b []byte) (round int, params, bn *quant.Frame, err error) {
-	if len(b) < 9 {
-		return 0, nil, nil, fmt.Errorf("fldist: model envelope %d bytes, header needs 9", len(b))
-	}
-	if string(b[:4]) != modelMagic {
-		return 0, nil, nil, fmt.Errorf("fldist: model envelope magic %q", b[:4])
-	}
-	if b[4] != envVersion {
-		return 0, nil, nil, fmt.Errorf("fldist: model envelope version %d, want %d", b[4], envVersion)
-	}
-	round = int(binary.LittleEndian.Uint32(b[5:9]))
-	params, rest, err := quant.DecodeFirst(b[9:])
-	if err != nil {
-		return 0, nil, nil, fmt.Errorf("fldist: model params frame: %w", err)
-	}
-	bn, rest, err = quant.DecodeFirst(rest)
-	if err != nil {
-		return 0, nil, nil, fmt.Errorf("fldist: model bn frame: %w", err)
-	}
-	if len(rest) != 0 {
-		return 0, nil, nil, fmt.Errorf("fldist: model envelope has %d trailing bytes", len(rest))
-	}
-	return round, params, bn, nil
-}
-
-// wireUpdate is a decoded compressed push: quantized deltas against the
-// round's served (dequantized) global model.
-type wireUpdate struct {
-	ClientID int
-	Round    int
-	Weight   float64
-	Params   *quant.Frame
-	BN       *quant.Frame
-}
+// Decoding of these envelopes is streaming-only: the server parses pushes in
+// handleDeltaUpdate and the client parses pulls in streamModelEnvelope, both
+// on quant.StreamDecoder, so there is exactly one parser per direction.
 
 // encodeUpdateEnvelope frames a compressed push.
 func encodeUpdateEnvelope(clientID, round int, weight float64, params, bn []byte) ([]byte, error) {
@@ -176,51 +142,27 @@ func encodeUpdateEnvelope(clientID, round int, weight float64, params, bn []byte
 	return buf, nil
 }
 
-// decodeUpdateEnvelope parses a compressed push body.
-func decodeUpdateEnvelope(b []byte) (*wireUpdate, error) {
-	if len(b) < 21 {
-		return nil, fmt.Errorf("fldist: update envelope %d bytes, header needs 21", len(b))
-	}
-	if string(b[:4]) != updateMagic {
-		return nil, fmt.Errorf("fldist: update envelope magic %q", b[:4])
-	}
-	if b[4] != envVersion {
-		return nil, fmt.Errorf("fldist: update envelope version %d, want %d", b[4], envVersion)
-	}
-	u := &wireUpdate{
-		ClientID: int(binary.LittleEndian.Uint32(b[5:9])),
-		Round:    int(binary.LittleEndian.Uint32(b[9:13])),
-		Weight:   math.Float64frombits(binary.LittleEndian.Uint64(b[13:21])),
-	}
-	var rest []byte
-	var err error
-	u.Params, rest, err = quant.DecodeFirst(b[21:])
-	if err != nil {
-		return nil, fmt.Errorf("fldist: update params frame: %w", err)
-	}
-	u.BN, rest, err = quant.DecodeFirst(rest)
-	if err != nil {
-		return nil, fmt.Errorf("fldist: update bn frame: %w", err)
-	}
-	if len(rest) != 0 {
-		return nil, fmt.Errorf("fldist: update envelope has %d trailing bytes", len(rest))
-	}
-	return u, nil
-}
-
 // Stats is a point-in-time snapshot of the server's traffic and progress
 // counters, served as JSON on GET /stats. Byte counts cover model-plane
 // bodies only (pull responses and push requests), split by whether the
 // compressed codec was in use, so operators can read the wire saving
 // directly as BytesInRaw+BytesOutRaw vs BytesInCompressed+BytesOutCompressed.
+// AdmitP50Micros/AdmitP99Micros are per-update admit-time percentiles
+// (receive → counted toward the round) over a sliding window of recent
+// admitted pushes — the same numbers cmd/benchserve reports, so operators
+// and the benchmark read one source. Every field is backed by an atomic or
+// the immutable model snapshot: polling /stats never blocks aggregation.
 type Stats struct {
-	Round              int   `json:"round"`
-	RoundsCompleted    int   `json:"rounds_completed"`
-	DuplicatesDropped  int   `json:"duplicates_dropped"`
-	BytesInRaw         int64 `json:"bytes_in_raw"`
-	BytesInCompressed  int64 `json:"bytes_in_compressed"`
-	BytesOutRaw        int64 `json:"bytes_out_raw"`
-	BytesOutCompressed int64 `json:"bytes_out_compressed"`
-	UpdatesRaw         int64 `json:"updates_raw"`
-	UpdatesCompressed  int64 `json:"updates_compressed"`
+	Round              int     `json:"round"`
+	RoundsCompleted    int     `json:"rounds_completed"`
+	DuplicatesDropped  int     `json:"duplicates_dropped"`
+	Shards             int     `json:"shards"`
+	BytesInRaw         int64   `json:"bytes_in_raw"`
+	BytesInCompressed  int64   `json:"bytes_in_compressed"`
+	BytesOutRaw        int64   `json:"bytes_out_raw"`
+	BytesOutCompressed int64   `json:"bytes_out_compressed"`
+	UpdatesRaw         int64   `json:"updates_raw"`
+	UpdatesCompressed  int64   `json:"updates_compressed"`
+	AdmitP50Micros     float64 `json:"admit_p50_us"`
+	AdmitP99Micros     float64 `json:"admit_p99_us"`
 }

@@ -205,6 +205,16 @@ func CollectBatchNorms(l Layer) []*BatchNorm2D {
 
 // ExportBNStats flattens the running statistics of every batch norm in the
 // layer into one vector (means then variances, per layer).
+// NumBNStats returns how many running-statistic values ExportBNStats would
+// emit, without materializing them — shape checks on hot paths use this.
+func NumBNStats(l Layer) int {
+	n := 0
+	for _, bn := range CollectBatchNorms(l) {
+		n += bn.RunningMean.Len() + bn.RunningVar.Len()
+	}
+	return n
+}
+
 func ExportBNStats(l Layer) []float64 {
 	var out []float64
 	for _, bn := range CollectBatchNorms(l) {

@@ -73,6 +73,20 @@ func packCodes(dst []byte, v []float64, scale float64, bits int) {
 		return
 	}
 	mc := maxCode(bits)
+	if bits == 8 {
+		// Byte-aligned fast path for the most common wire width: identical
+		// two's-complement codes, no bit shuffling.
+		for i, x := range v {
+			code := int(math.Round(x / scale))
+			if code > mc {
+				code = mc
+			} else if code < -mc {
+				code = -mc
+			}
+			dst[i] = byte(code)
+		}
+		return
+	}
 	mask := (1 << bits) - 1
 	bitPos := 0
 	for _, x := range v {
@@ -99,6 +113,14 @@ func unpackCodes(dst []float64, src []byte, scale float64, bits int) {
 	if scale == 0 {
 		for i := range dst {
 			dst[i] = 0
+		}
+		return
+	}
+	if bits == 8 {
+		// Byte-aligned fast path: int8 conversion is exactly the generic
+		// loop's mask-and-sign-extend for bits = 8.
+		for i := range dst {
+			dst[i] = float64(int8(src[i])) * scale
 		}
 		return
 	}

@@ -1,0 +1,59 @@
+package fedprophet
+
+import (
+	"fmt"
+
+	"fedprophet/internal/fldist"
+	"fedprophet/internal/nn"
+)
+
+// The distributed deployment surface: a real HTTP parameter server for
+// fleets that federate over the network instead of in-process. The server
+// speaks the wire protocol of docs/WIRE.md (raw gob and compressed
+// error-fed deltas, negotiated per client) and aggregates under
+// parameter-range sharding — concurrent pushes decode and admit in
+// parallel, a stats poll never blocks aggregation, and the aggregate is
+// bit-identical at any shard count.
+
+type (
+	// ParamServer is the HTTP parameter server of the distributed
+	// transport: a synchronous FedAvg aggregator with sharded, streaming
+	// aggregation. Serve its Handler() (or call ListenAndServe) and point
+	// fldist clients — or any client implementing docs/WIRE.md — at it.
+	ParamServer = fldist.Server
+	// ParamServerOption configures NewParamServer.
+	ParamServerOption = fldist.ServerOption
+	// ServerStats is the GET /stats payload: traffic counters split raw vs
+	// compressed, round progress, shard count, and per-update admit-latency
+	// percentiles.
+	ServerStats = fldist.Stats
+)
+
+// WithServerShards sets how many parameter-range shards the server
+// aggregates under. More shards let more concurrent client pushes admit
+// without contending; the aggregated model is bit-identical at any shard
+// count, so this is purely a throughput knob. Values < 1 select the default
+// (GOMAXPROCS, capped at 64).
+func WithServerShards(n int) ParamServerOption { return fldist.WithShards(n) }
+
+// NewParamServer builds a parameter server seeded with the given global
+// state — typically ExportModelState of a trained Result, or the export of a
+// freshly built model for training from scratch. updatesPerRound is the
+// synchronous-round quorum: the server aggregates once that many distinct
+// clients have pushed for the current round. Drive it with
+// (*ParamServer).ListenAndServe or mount (*ParamServer).Handler on an
+// existing mux.
+func NewParamServer(initParams, initBN []float64, updatesPerRound int, opts ...ParamServerOption) *ParamServer {
+	return fldist.NewServer(initParams, initBN, updatesPerRound, opts...)
+}
+
+// ExportModelState flattens a Result's trained global model into the
+// parameter and BatchNorm-statistics vectors a ParamServer (or a checkpoint)
+// is seeded with. It errors on a result without a model (a run canceled
+// before any aggregation).
+func ExportModelState(res *Result) (params, bn []float64, err error) {
+	if res == nil || res.Model == nil {
+		return nil, nil, fmt.Errorf("fedprophet: result carries no trained model")
+	}
+	return nn.ExportParams(res.Model), nn.ExportBNStats(res.Model), nil
+}
