@@ -9,9 +9,11 @@
 #                         (bytes/round + round latency at raw/8/4/2 bits)
 #   make bench-serve    - record the parameter-server baseline to BENCH_serve.json
 #                         (updates/sec + push latency + allocs/op, single-mutex
-#                         vs sharded, at N=4/16/64 concurrent clients; pinned to
-#                         GOMAXPROCS=4 so the concurrency plane is exercised
-#                         even on smaller CI hosts)
+#                         vs sharded, at N=4/16/64 concurrent clients, plus the
+#                         straggler phases: sync quorum vs buffered async with
+#                         one 4x-slow client, recording wasted training passes;
+#                         pinned to GOMAXPROCS=4 so the concurrency plane is
+#                         exercised even on smaller CI hosts)
 #   make check-docs     - fail on dead relative links in README/docs
 #   make cover   - tests with coverage summary
 
@@ -37,13 +39,15 @@ test:
 test-race:
 	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/fl/... ./internal/fldist/... ./internal/quant/...
 
-# Dead relative links in the markdown docs fail the build.
+# Dead relative links in the markdown docs — and dead *.md references cited
+# inside Go doc comments — fail the build.
 check-docs:
-	$(GO) run ./cmd/checkdocs README.md ROADMAP.md docs
+	$(GO) run ./cmd/checkdocs -gosrc . README.md ROADMAP.md docs
 
-# A ~2-second benchserve run (N=8 fleet, both server implementations) so the
-# concurrent push path is exercised on every build, not just when someone
-# records a baseline.
+# A ~2-second benchserve run (N=8 fleet, both server implementations, plus
+# the sync-vs-async straggler phases) so the concurrent push path and the
+# buffered-aggregation plane are exercised on every build, not just when
+# someone records a baseline.
 smoke-serve:
 	GOMAXPROCS=4 $(GO) run ./cmd/benchserve -smoke
 

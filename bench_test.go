@@ -4,10 +4,12 @@
 //
 //	go test -bench=. -benchmem -benchtime=1x
 //
-// Each benchmark corresponds to one paper artifact (see DESIGN.md §3).
-// Absolute values come from the synthetic substrate; the shapes — method
-// orderings, latency breakdowns, memory reductions — are the reproduction
-// targets recorded in EXPERIMENTS.md.
+// Each benchmark corresponds to one paper artifact; docs/ARCHITECTURE.md
+// maps the packages they exercise. Absolute values come from the synthetic
+// substrate; the shapes — method orderings, latency breakdowns, memory
+// reductions — are the reproduction targets, with the measured systems
+// baselines tracked in BENCH_conv.json, BENCH_wire.json and
+// BENCH_serve.json.
 package fedprophet_test
 
 import (

@@ -63,15 +63,38 @@ type allocResult struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
+// stragglerResult is one straggler phase: a fleet with one artificially
+// slow member, run against the synchronous quorum or against buffered
+// bounded-staleness aggregation. WastedPasses counts training passes thrown
+// away on 409 (the straggler pathology buffered mode eliminates);
+// StragglerUpdates counts the slow client's contributions that made it into
+// the model.
+type stragglerResult struct {
+	Clients          int     `json:"clients"`
+	Mode             string  `json:"mode"` // "sync-quorum" or "buffered-async"
+	CommitThreshold  int     `json:"commit_threshold"`
+	MaxStaleness     int     `json:"max_staleness,omitempty"`
+	TrainMS          float64 `json:"train_ms"`
+	StragglerFactor  int     `json:"straggler_factor"`
+	Seconds          float64 `json:"seconds"`
+	Updates          int64   `json:"updates"`
+	Rounds           int     `json:"rounds"`
+	UpdatesPerSec    float64 `json:"updates_per_sec"`
+	WastedPasses     int64   `json:"wasted_training_passes"`
+	StragglerUpdates int64   `json:"straggler_updates"`
+}
+
 type report struct {
-	Params         int           `json:"params"`
-	Bits           int           `json:"bits"`
-	Chunk          int           `json:"chunk"`
-	GOMAXPROCS     int           `json:"gomaxprocs"`
-	Shards         int           `json:"shards"`
-	Results        []phaseResult `json:"results"`
-	PushAllocs     []allocResult `json:"push_allocs"`
-	AllocReduction float64       `json:"alloc_reduction"`
+	Params         int               `json:"params"`
+	Bits           int               `json:"bits"`
+	Chunk          int               `json:"chunk"`
+	GOMAXPROCS     int               `json:"gomaxprocs"`
+	Shards         int               `json:"shards"`
+	Results        []phaseResult     `json:"results"`
+	PushAllocs     []allocResult     `json:"push_allocs"`
+	AllocReduction float64           `json:"alloc_reduction"`
+	Straggler      []stragglerResult `json:"straggler,omitempty"`
+	AsyncSpeedup   float64           `json:"async_speedup_vs_sync,omitempty"`
 }
 
 func main() {
@@ -84,11 +107,15 @@ func main() {
 		duration = flag.Duration("duration", 3*time.Second, "wall-clock per phase")
 		shards   = flag.Int("shards", 0, "shard count for the sharded server (0 = server default)")
 		seed     = flag.Int64("seed", 1, "synthetic model seed")
-		smoke    = flag.Bool("smoke", false, "CI smoke: N=8 only, 1s phases, no output file")
+		train    = flag.Duration("train", 20*time.Millisecond, "simulated local-training time per round in the straggler phases")
+		smoke    = flag.Bool("smoke", false, "CI smoke: N=8 only, short phases, no output file")
 	)
 	flag.Parse()
+	stragglerN := 16
 	if *smoke {
-		*clients, *duration, *out = "8", time.Second, ""
+		*clients, *duration, *out = "8", 600*time.Millisecond, ""
+		*train = 10 * time.Millisecond
+		stragglerN = 8
 	}
 
 	var ns []int
@@ -143,6 +170,22 @@ func main() {
 	}
 	log.Printf("push allocs/op: single-mutex %.0f (%.0f B) | sharded %.0f (%.0f B) | %.1fx fewer",
 		baseAllocs, baseBytes, shardAllocs, shardBytes, rep.AllocReduction)
+
+	// Straggler phases: the same fleet with one 4×-slow member and a commit
+	// threshold of N−1, under the synchronous quorum (the straggler's every
+	// pass lands stale and is thrown away) and under buffered
+	// bounded-staleness aggregation (the stale pass is admitted,
+	// down-weighted).
+	syncStr := runStragglerPhase(false, stragglerN, *duration, *train, 4, initParams, *bits, *chunk, *shards)
+	asyncStr := runStragglerPhase(true, stragglerN, *duration, *train, 4, initParams, *bits, *chunk, *shards)
+	rep.Straggler = []stragglerResult{syncStr, asyncStr}
+	if syncStr.UpdatesPerSec > 0 {
+		rep.AsyncSpeedup = asyncStr.UpdatesPerSec / syncStr.UpdatesPerSec
+	}
+	log.Printf("straggler N=%d (train %v, straggler 4x): sync %6.0f up/s, %d wasted passes, %d straggler updates | async %6.0f up/s, %d wasted, %d straggler updates | %.2fx up/s",
+		stragglerN, *train,
+		syncStr.UpdatesPerSec, syncStr.WastedPasses, syncStr.StragglerUpdates,
+		asyncStr.UpdatesPerSec, asyncStr.WastedPasses, asyncStr.StragglerUpdates, rep.AsyncSpeedup)
 
 	if *out == "" {
 		return
@@ -249,25 +292,7 @@ func runPhase(h http.Handler, name string, n int, d time.Duration, initParams []
 // measures. Counted pushes are recorded with their wall-clock latency.
 func runClient(ctx context.Context, hc *http.Client, url string, id int,
 	initParams []float64, bits, chunk int, updates *atomic.Int64) []time.Duration {
-	// A deterministic per-client delta, quantized once. The delta is
-	// independent of the pulled base, so the body bytes are reusable across
-	// rounds with only the round field changing.
-	rng := rand.New(rand.NewSource(int64(1000 + id)))
-	delta := make([]float64, len(initParams))
-	for i := range delta {
-		delta[i] = 1e-3 * rng.NormFloat64()
-	}
-	q := quant.QuantizeChunks(delta, bits, chunk)
-	body := make([]byte, 0, 21+len(initParams))
-	body = append(body, updateMagic...)
-	body = append(body, envVersion)
-	body = binary.LittleEndian.AppendUint32(body, uint32(id))
-	body = binary.LittleEndian.AppendUint32(body, 0) // round, patched per push
-	var w [8]byte
-	binary.LittleEndian.PutUint64(w[:], uint64(0x3FF0000000000000)) // weight 1.0
-	body = append(body, w[:]...)
-	body = append(body, quant.Encode(q)...)
-	body = append(body, quant.EncodeRaw(nil)...)
+	body := makeDeltaBody(id, initParams, bits, chunk)
 
 	// One negotiated pull up front (validates the server speaks the codec),
 	// then the round-poll/push loop.
@@ -322,6 +347,190 @@ func runClient(ctx context.Context, hc *http.Client, url string, id int,
 		}
 	}
 	return lats
+}
+
+// makeDeltaBody builds one client's reusable compressed push body: a
+// deterministic per-client delta, quantized once. The delta is independent
+// of the pulled base, so the body bytes are reusable across rounds with
+// only the round field (bytes 9:13) patched per push.
+func makeDeltaBody(id int, initParams []float64, bits, chunk int) []byte {
+	rng := rand.New(rand.NewSource(int64(1000 + id)))
+	delta := make([]float64, len(initParams))
+	for i := range delta {
+		delta[i] = 1e-3 * rng.NormFloat64()
+	}
+	q := quant.QuantizeChunks(delta, bits, chunk)
+	body := make([]byte, 0, 21+len(initParams))
+	body = append(body, updateMagic...)
+	body = append(body, envVersion)
+	body = binary.LittleEndian.AppendUint32(body, uint32(id))
+	body = binary.LittleEndian.AppendUint32(body, 0) // round, patched per push
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], uint64(0x3FF0000000000000)) // weight 1.0
+	body = append(body, w[:]...)
+	body = append(body, quant.Encode(q)...)
+	body = append(body, quant.EncodeRaw(nil)...)
+	return body
+}
+
+// runStragglerPhase drives a fleet of n clients — client 0 training factor×
+// slower than the rest — against a commit threshold of n−1 for about d
+// wall-clock, either under the synchronous quorum or under buffered
+// bounded-staleness aggregation, and reports throughput plus
+// wasted-training-pass accounting.
+func runStragglerPhase(async bool, n int, d, train time.Duration, factor int,
+	initParams []float64, bits, chunk, shards int) stragglerResult {
+	commitK := n - 1
+	const maxStale = 8
+	mode := "sync-quorum"
+	opts := []fldist.ServerOption{fldist.WithShards(shards)}
+	if async {
+		mode = "buffered-async"
+		opts = append(opts, fldist.WithBufferedAggregation(commitK, maxStale))
+	}
+	srv := fldist.NewServer(initParams, nil, commitK, opts...)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	url := "http://" + ln.Addr().String()
+	transport := &http.Transport{MaxIdleConns: n * 2, MaxIdleConnsPerHost: n * 2}
+	hc := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	var wg sync.WaitGroup
+	var updates, wasted, stragglerUpdates atomic.Int64
+	start := time.Now()
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tt := train
+			if id == 0 {
+				tt = time.Duration(factor) * train
+			}
+			runStragglerClient(ctx, hc, url, id, tt, async, initParams, bits, chunk,
+				&updates, &wasted, &stragglerUpdates)
+		}(id)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	_ = hs.Close()
+
+	total := updates.Load()
+	res := stragglerResult{
+		Clients:          n,
+		Mode:             mode,
+		CommitThreshold:  commitK,
+		TrainMS:          float64(train) / float64(time.Millisecond),
+		StragglerFactor:  factor,
+		Seconds:          elapsed.Seconds(),
+		Updates:          total,
+		Rounds:           srv.RoundsCompleted(),
+		UpdatesPerSec:    float64(total) / elapsed.Seconds(),
+		WastedPasses:     wasted.Load(),
+		StragglerUpdates: stragglerUpdates.Load(),
+	}
+	if async {
+		res.MaxStaleness = maxStale
+	}
+	return res
+}
+
+// runStragglerClient is one straggler-phase fleet member: every loop
+// iteration pulls the model (establishing the base round, exactly as the
+// production client must), simulates one local training pass (a sleep of
+// tt), then pushes. A 409 means the pass was trained for nothing — the
+// client re-pulls and trains again. In async mode a counted push flows
+// straight into the next pull→train→push (falling back to a round poll only
+// when the client's own update is still the newest thing on the server, as
+// the production async client does); in sync mode every counted push waits
+// for the round barrier.
+func runStragglerClient(ctx context.Context, hc *http.Client, url string, id int,
+	tt time.Duration, async bool, initParams []float64, bits, chunk int,
+	updates, wasted, stragglerUpdates *atomic.Int64) {
+	body := makeDeltaBody(id, initParams, bits, chunk)
+	reader := newNopReader(body)
+	lastCounted := -1
+	for ctx.Err() == nil {
+		if lastCounted >= 0 {
+			// Our previous push counted; if no commit landed since (async:
+			// we outran the buffer; sync: the quorum is still filling),
+			// training again from the same base would be dropped as a
+			// duplicate. Probe the cheap /round — not a full model pull —
+			// and wait for the round to move first, as the production
+			// client does.
+			r, ok := pollRound(ctx, hc, url)
+			if !ok {
+				return
+			}
+			if r == lastCounted {
+				if _, ok := awaitRound(ctx, hc, url, lastCounted); !ok {
+					return
+				}
+			}
+		}
+		round, ok := pullRound(ctx, hc, url, bits, chunk)
+		if !ok {
+			return
+		}
+		if !sleepCtx(ctx, tt) { // the training pass for base `round`
+			return
+		}
+		binary.LittleEndian.PutUint32(body[9:13], uint32(round))
+		reader.off = 0
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/update", reader)
+		if err != nil {
+			return
+		}
+		req.ContentLength = int64(len(body))
+		req.Header.Set("Content-Type", contentTypeDelta)
+		resp, err := hc.Do(req)
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		dup := resp.Header.Get("X-Fldist-Duplicate") != ""
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK && !dup:
+			updates.Add(1)
+			if id == 0 {
+				stragglerUpdates.Add(1)
+			}
+			lastCounted = round
+			if !async {
+				// Synchronous barrier: the next pull is useless until the
+				// quorum-filling aggregation lands.
+				if _, ok := awaitRound(ctx, hc, url, round); !ok {
+					return
+				}
+			}
+		case resp.StatusCode == http.StatusOK: // duplicate of a counted push
+			lastCounted = round
+		case resp.StatusCode == http.StatusConflict:
+			wasted.Add(1) // the pass just trained is discarded
+		default:
+			log.Fatalf("benchserve: straggler client %d push: %s", id, resp.Status)
+		}
+	}
+}
+
+// sleepCtx sleeps for d or until ctx ends, reporting whether the full
+// duration elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // nopReader is a rewindable ReadCloser over a byte slice, reused across

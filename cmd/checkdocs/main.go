@@ -6,11 +6,22 @@
 // command exits non-zero, which is how `make check-docs` (part of `make ci`)
 // fails the build on documentation rot.
 //
-//	go run ./cmd/checkdocs README.md ROADMAP.md docs
+// With -gosrc it also walks that root for Go sources and checks every *.md
+// file named inside a Go comment — package docs love to cite design
+// documents, and a citation of a file that was never written (or has since
+// been renamed) is the same class of rot as a dead markdown link. A
+// reference resolves if it exists relative to either the Go file's own
+// directory or the -gosrc root (comments conventionally name repo-root
+// paths like docs/WIRE.md).
+//
+//	go run ./cmd/checkdocs -gosrc . README.md ROADMAP.md docs
 package main
 
 import (
+	"flag"
 	"fmt"
+	"go/parser"
+	"go/token"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -22,13 +33,21 @@ import (
 // links are rare in this repository and intentionally not handled.
 var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
+// mdRefRe matches a markdown-file reference inside prose: a path-ish token
+// ending in .md. The first character must be alphanumeric so glob patterns
+// ("*.md") and a bare ".md" are not picked up.
+var mdRefRe = regexp.MustCompile(`[A-Za-z0-9_][A-Za-z0-9_./-]*\.md\b`)
+
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: checkdocs <file-or-dir>...")
+	gosrc := flag.String("gosrc", "",
+		"also check *.md references in Go comments under this root (resolved against the file's directory and this root)")
+	flag.Parse()
+	if flag.NArg() < 1 && *gosrc == "" {
+		fmt.Fprintln(os.Stderr, "usage: checkdocs [-gosrc root] <file-or-dir>...")
 		os.Exit(2)
 	}
 	var files []string
-	for _, arg := range os.Args[1:] {
+	for _, arg := range flag.Args() {
 		info, err := os.Stat(arg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "checkdocs: %v\n", err)
@@ -80,9 +99,65 @@ func main() {
 			}
 		}
 	}
+
+	goFiles := 0
+	if *gosrc != "" {
+		n, d, err := checkGoComments(*gosrc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkdocs: %v\n", err)
+			os.Exit(2)
+		}
+		goFiles, dead = n, dead+d
+	}
+
 	if dead > 0 {
-		fmt.Printf("checkdocs: %d dead link(s) in %d file(s)\n", dead, len(files))
+		fmt.Printf("checkdocs: %d dead link(s) in %d markdown + %d Go file(s)\n", dead, len(files), goFiles)
 		os.Exit(1)
 	}
-	fmt.Printf("checkdocs: %d file(s), all relative links resolve\n", len(files))
+	fmt.Printf("checkdocs: %d markdown + %d Go file(s), all *.md references resolve\n", len(files), goFiles)
+}
+
+// checkGoComments walks root for Go sources and reports every *.md file
+// named in a comment that exists neither relative to the source file's
+// directory nor relative to root. It parses comments with go/parser, so
+// string literals that merely look like prose are never scanned.
+func checkGoComments(root string) (checked, dead int, err error) {
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS and tooling directories.
+			if name := d.Name(); name != "." && strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		checked++
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, ref := range mdRefRe.FindAllString(c.Text, -1) {
+					if _, err := os.Stat(filepath.Join(filepath.Dir(path), ref)); err == nil {
+						continue
+					}
+					if _, err := os.Stat(filepath.Join(root, ref)); err == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					fmt.Printf("%s:%d: dead markdown reference %q in comment\n", path, pos.Line, ref)
+					dead++
+				}
+			}
+		}
+		return nil
+	})
+	return checked, dead, err
 }

@@ -23,6 +23,15 @@
 // GOMAXPROCS; the model is bit-identical at any count) and exposes
 // per-update admit-latency percentiles on /stats. -pprof serves
 // net/http/pprof for live profiling of either role.
+//
+// By default the server is a synchronous quorum aggregator. Passing
+// -buffer K switches it to FedBuff-style buffered bounded-staleness
+// aggregation: updates up to -staleness rounds behind the current round are
+// admitted (down-weighted by 1/(1+staleness)) instead of rejected, and the
+// model commits every K admitted updates — no round barrier, so a
+// straggler's training pass is never thrown away while it stays inside the
+// window. Run the clients with -async to pipeline pull→train→push against
+// such a server. The wire protocol is identical in both modes.
 package main
 
 import (
@@ -58,6 +67,9 @@ func main() {
 		bits     = flag.Int("bits", 0, "compressed delta wire protocol bit width, 2..8 (0 = raw gob)")
 		chunk    = flag.Int("chunk", 0, "values per quantization scale (0 = default 256)")
 		shards   = flag.Int("shards", 0, "server aggregation shards (0 = GOMAXPROCS; result is identical at any count)")
+		buffer   = flag.Int("buffer", 0, "buffered bounded-staleness aggregation: commit every K admitted updates (0 = synchronous quorum)")
+		stale    = flag.Int("staleness", 4, "buffered mode: admit updates up to this many rounds behind, down-weighted 1/(1+staleness)")
+		async    = flag.Bool("async", false, "client mode: pipeline pull→train→push for a buffered server (no round barrier)")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) for live profiling")
 	)
 	flag.Parse()
@@ -81,15 +93,24 @@ func main() {
 	switch {
 	case *serve:
 		m := build()
-		srv := fldist.NewServer(nn.ExportParams(m), nn.ExportBNStats(m), *quorum,
-			fldist.WithShards(*shards))
-		log.Printf("parameter server on %s (quorum %d, model %s, %d params, %d shards)",
-			*addr, *quorum, m.Label, nn.NumParams(m), srv.Shards())
+		opts := []fldist.ServerOption{fldist.WithShards(*shards)}
+		mode := fmt.Sprintf("quorum %d", *quorum)
+		if *buffer > 0 {
+			opts = append(opts, fldist.WithBufferedAggregation(*buffer, *stale))
+			mode = fmt.Sprintf("buffered K=%d staleness≤%d", *buffer, *stale)
+		}
+		srv := fldist.NewServer(nn.ExportParams(m), nn.ExportBNStats(m), *quorum, opts...)
+		log.Printf("parameter server on %s (%s, model %s, %d params, %d shards)",
+			*addr, mode, m.Label, nn.NumParams(m), srv.Shards())
 		if err := srv.ListenAndServe(ctx, *addr); err != nil {
 			log.Fatal(err)
 		}
 		st := srv.Stats()
 		log.Printf("parameter server shut down after %d completed rounds", st.RoundsCompleted)
+		if b := st.Buffered; b != nil {
+			log.Printf("staleness: admitted histogram %v, %d rejected outside window ≤%d",
+				b.StalenessHist, b.StaleRejected, b.MaxStaleness)
+		}
 		log.Printf("wire traffic: in %d B raw + %d B compressed, out %d B raw + %d B compressed (%d raw / %d compressed updates)",
 			st.BytesInRaw, st.BytesInCompressed, st.BytesOutRaw, st.BytesOutCompressed,
 			st.UpdatesRaw, st.UpdatesCompressed)
@@ -114,18 +135,23 @@ func main() {
 			Cfg:      cfg,
 			Rng:      rand.New(rand.NewSource(*seed + int64(*clientID))),
 			PGDSteps: *pgd,
+			Async:    *async,
 		}
 		wire := "raw gob"
 		if *bits != 0 {
 			c.Compression = &fldist.Compression{Bits: *bits, Chunk: *chunk}
 			wire = fmt.Sprintf("%d-bit error-fed deltas", *bits)
 		}
-		log.Printf("client %d: %d local samples, PGD-%d, %d rounds, wire: %s",
-			*clientID, subs[*clientID].Len(), *pgd, *rounds, wire)
+		loop := "sync"
+		if *async {
+			loop = "async pipeline"
+		}
+		log.Printf("client %d: %d local samples, PGD-%d, %d rounds (%s), wire: %s",
+			*clientID, subs[*clientID].Len(), *pgd, *rounds, loop, wire)
 		if err := c.RunRounds(ctx, *rounds, 0.04); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("client %d: done", *clientID)
+		log.Printf("client %d: done (%d stale retrains)", *clientID, c.StaleRetrains)
 
 	default:
 		fmt.Println("specify -serve or -connect <url>; see -h")

@@ -1,7 +1,8 @@
 // Package attack implements the adversarial-example machinery of the
 // FedProphet reproduction: FGSM, PGD-n under ℓ∞ and ℓ2 constraints, a
 // Carlini–Wagner-margin PGD, and a multi-attack ensemble that stands in for
-// AutoAttack (DESIGN.md §2, substitution 4). Attacks operate on any
+// AutoAttack (one of the paper-scale substitutions; see docs/ARCHITECTURE.md
+// for the layer map). Attacks operate on any
 // differentiable loss via a GradFn, so the same code perturbs raw images
 // (ε = 8/255 in ℓ∞) and intermediate cascade features (ℓ2 balls).
 package attack

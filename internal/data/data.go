@@ -1,5 +1,6 @@
 // Package data provides the synthetic image-classification datasets that
-// stand in for CIFAR-10 and Caltech-256 (see DESIGN.md §2, substitution 1),
+// stand in for CIFAR-10 and Caltech-256 (a deliberate paper-scale
+// substitution; docs/ARCHITECTURE.md places the package in the layer map),
 // the paper's 80%/20% non-IID federated partition, and batching utilities.
 //
 // Images are class-structured: each class owns a smooth spatial prototype

@@ -124,7 +124,7 @@ func CIFAR10S() Workload {
 
 // Caltech256S is the Caltech-256 surrogate workload: ResNet34-S as the large
 // model, CNN4 as the small one, the Table 6 device pool. The quick scale
-// shrinks the image size and class count further (documented in DESIGN.md).
+// shrinks the image size and class count further.
 func Caltech256S(quick bool) Workload {
 	shape := []int{3, 24, 24}
 	classes := 32

@@ -5,10 +5,12 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 
 	"fedprophet/internal/attack"
@@ -30,6 +32,21 @@ type Client struct {
 	Cfg      fl.Config
 	Rng      *rand.Rand
 	PGDSteps int // 0 = standard training
+
+	// Async switches RunRounds to the buffered-aggregation pipeline —
+	// pull → train → push with no round barrier — for servers running
+	// WithBufferedAggregation. A push is counted as long as its base round
+	// is inside the server's staleness window, so a slow client's training
+	// pass is not discarded just because faster clients committed rounds
+	// meanwhile.
+	Async bool
+
+	// StaleRetrains counts training passes RunRounds had to throw away
+	// because the server had aggregated past the pushed base round (HTTP
+	// 409): every increment is wasted client compute. Against a buffered
+	// server with an adequate staleness window this stays 0 even for
+	// stragglers.
+	StaleRetrains int
 
 	// Compression, when non-nil, requests the compressed delta wire
 	// protocol: Pull asks for a chunk-quantized global model and Push sends
@@ -55,6 +72,11 @@ type Client struct {
 	// residual, so a redundant re-push of an already-acknowledged round
 	// cannot advance the feedback state twice. 0 means none committed.
 	residualRound int
+
+	// testAfterTrain, when non-nil, runs after every local training pass
+	// and before the push. Tests use it to simulate stragglers without
+	// touching the training loop.
+	testAfterTrain func()
 }
 
 // Pull fetches the current global model and loads it into the local replica.
@@ -232,10 +254,15 @@ func (c *Client) TrainLocal(lr float64) float64 {
 // whether the server added this update to the round's aggregate; it is false
 // when the server had already counted an update from this client for the
 // round (the X-Fldist-Duplicate marker) and idempotently dropped this copy.
-// A 409 response (stale round) is reported as ErrStaleRound so callers can
-// re-pull. Canceling ctx aborts the request. Pushes are idempotent per
+// Canceling ctx aborts the request. Pushes are idempotent per
 // (client, round): the server counts only the first copy, so retrying after
 // a lost response is safe — the retry just reports counted=false.
+//
+// Sentinel contract: a 409 response (the server aggregated past the pushed
+// round — or, on a buffered server, past its staleness window) is reported
+// as an error satisfying errors.Is(err, ErrStaleRound), so the caller knows
+// to re-pull and retrain. Always match it with errors.Is, never ==; the
+// sentinel may arrive wrapped with call-site context.
 func (c *Client) Push(ctx context.Context, round int) (counted bool, err error) {
 	if c.Compression != nil && c.negotiated {
 		return c.pushDelta(ctx, round)
@@ -320,42 +347,71 @@ func deltaQuantize(params, base, residual []float64, comp Compression) (quant.Ch
 }
 
 // postUpdate POSTs one update body and maps the server's verdict to the
-// (counted, err) contract shared by both wire protocols.
+// (counted, err) contract shared by both wire protocols. A 409 carrying the
+// retry marker is a transient server-side stall (a buffered commit still
+// publishing), not a staleness verdict — the identical body is re-sent a
+// few times before the push is given up as stale, so a fresh training pass
+// is not discarded over a slow commit.
 func (c *Client) postUpdate(ctx context.Context, contentType string, body []byte) (bool, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/update",
-		bytes.NewReader(body))
-	if err != nil {
-		return false, fmt.Errorf("fldist: push: %w", err)
-	}
-	req.Header.Set("Content-Type", contentType)
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return false, fmt.Errorf("fldist: push: %w", err)
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-		return resp.Header.Get("X-Fldist-Duplicate") == "", nil
-	case http.StatusConflict:
-		return false, ErrStaleRound
-	default:
-		b, _ := io.ReadAll(resp.Body)
-		return false, fmt.Errorf("fldist: push: %s: %s", resp.Status, b)
+	const retries = 3
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/update",
+			bytes.NewReader(body))
+		if err != nil {
+			return false, fmt.Errorf("fldist: push: %w", err)
+		}
+		req.Header.Set("Content-Type", contentType)
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			return false, fmt.Errorf("fldist: push: %w", err)
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			counted := resp.Header.Get("X-Fldist-Duplicate") == ""
+			resp.Body.Close()
+			return counted, nil
+		case http.StatusConflict:
+			retry := resp.Header.Get(retryHeader) != ""
+			resp.Body.Close()
+			if retry && attempt < retries {
+				continue
+			}
+			return false, ErrStaleRound
+		default:
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return false, fmt.Errorf("fldist: push: %s: %s", resp.Status, b)
+		}
 	}
 }
 
 // ErrStaleRound signals that the server moved on before this client's
-// update arrived; the client should Pull and retrain.
-var ErrStaleRound = fmt.Errorf("fldist: update for a stale round")
+// update arrived (on a buffered server: moved past the staleness window);
+// the client should Pull and retrain. Match it with errors.Is — callers and
+// intermediaries are free to wrap it.
+var ErrStaleRound = errors.New("fldist: update for a stale round")
 
 // RunRounds participates in n federated rounds: pull, train, push, retrying
-// on stale rounds. The server is a synchronous FedAvg aggregator, so after a
-// counted push the client waits for the round to advance before pulling
-// again — otherwise a fast client would retrain on the unchanged global
-// model and push updates the server idempotently drops as duplicates (and
-// mistake those for progress). Canceling ctx stops between steps and aborts
-// in-flight requests.
+// on stale rounds (each such retrain is tallied in StaleRetrains).
+//
+// Against the default synchronous server, after a counted push the client
+// waits for the round to advance before pulling again — otherwise a fast
+// client would retrain on the unchanged global model and push updates the
+// server idempotently drops as duplicates (and mistake those for progress).
+//
+// With Async set (a server running WithBufferedAggregation), the loop
+// pipelines pull → train → push with no round polling between rounds: a
+// counted push immediately flows into the next pull, because the buffered
+// server accepts the next update even if its base round is a little stale.
+// The client only falls back to polling /round when it outruns the buffer —
+// its own update is the newest thing on the server and pushing again from
+// the same base would be dropped as a duplicate.
+//
+// Canceling ctx stops between steps and aborts in-flight requests.
 func (c *Client) RunRounds(ctx context.Context, n int, lr float64) error {
+	if c.Async {
+		return c.runRoundsAsync(ctx, n, lr)
+	}
 	for done := 0; done < n; {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("fldist: client %d stopped after %d rounds: %w", c.ID, done, err)
@@ -364,7 +420,7 @@ func (c *Client) RunRounds(ctx context.Context, n int, lr float64) error {
 		if err != nil {
 			return err
 		}
-		c.TrainLocal(lr)
+		c.trainPass(lr)
 		counted, err := c.Push(ctx, round)
 		switch {
 		case err == nil && counted:
@@ -380,13 +436,79 @@ func (c *Client) RunRounds(ctx context.Context, n int, lr float64) error {
 			if err := c.awaitRoundAfter(ctx, round); err != nil {
 				return err
 			}
-		case err == ErrStaleRound:
+		case errors.Is(err, ErrStaleRound):
+			c.StaleRetrains++
 			continue // re-pull and retrain on the fresh model
 		default:
 			return err
 		}
 	}
 	return nil
+}
+
+// runRoundsAsync is the buffered-aggregation participation loop: see
+// RunRounds.
+func (c *Client) runRoundsAsync(ctx context.Context, n int, lr float64) error {
+	lastCounted := -1 // base round of our last counted push
+	for done := 0; done < n; {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("fldist: client %d stopped after %d rounds: %w", c.ID, done, err)
+		}
+		if lastCounted >= 0 {
+			// Our previous push counted. If no commit has landed since, a
+			// second push from the same base would be dropped as a
+			// duplicate, so training now would be wasted work — and so
+			// would re-downloading the model just to find that out. Probe
+			// the cheap /round first and wait out the commit if needed.
+			cur, err := c.Round(ctx)
+			if err != nil {
+				return err
+			}
+			if cur == lastCounted {
+				if err := c.awaitRoundAfter(ctx, lastCounted); err != nil {
+					return err
+				}
+			}
+		}
+		round, err := c.Pull(ctx)
+		if err != nil {
+			return err
+		}
+		if round == lastCounted {
+			// Unreachable while rounds only advance (the probe above saw a
+			// newer round before the pull); kept as defense so a surprise
+			// never turns into duplicate-push training waste.
+			if err := c.awaitRoundAfter(ctx, round); err != nil {
+				return err
+			}
+			continue
+		}
+		c.trainPass(lr)
+		counted, err := c.Push(ctx, round)
+		switch {
+		case err == nil && counted:
+			done++
+			lastCounted = round
+		case err == nil:
+			// Duplicate: a retried push from this base already counted.
+			lastCounted = round
+		case errors.Is(err, ErrStaleRound):
+			// Only past the staleness window — this training pass is lost.
+			c.StaleRetrains++
+			continue
+		default:
+			return err
+		}
+	}
+	return nil
+}
+
+// trainPass runs one local training pass plus the test straggler hook.
+func (c *Client) trainPass(lr float64) {
+	c.TrainLocal(lr)
+	if c.testAfterTrain != nil {
+		c.testAfterTrain()
+	}
 }
 
 // Round fetches the server's current round number without transferring the
@@ -408,9 +530,15 @@ func (c *Client) Round(ctx context.Context) (int, error) {
 	if resp.StatusCode != http.StatusOK {
 		return 0, fmt.Errorf("fldist: round: %s: %s", resp.Status, body)
 	}
-	var round int
-	if _, err := fmt.Sscanf(string(bytes.TrimSpace(body)), "%d", &round); err != nil {
-		return 0, fmt.Errorf("fldist: round: parsing %q: %w", body, err)
+	// strconv.Atoi over the trimmed body, not fmt.Sscanf: Sscanf("%d") stops
+	// at the first non-digit and would silently accept a corrupted body like
+	// "3 oops" as round 3. Anything but a bare decimal is a protocol error.
+	round, err := strconv.Atoi(string(bytes.TrimSpace(body)))
+	if err != nil {
+		return 0, fmt.Errorf("fldist: round: malformed body %q: %w", body, err)
+	}
+	if round < 0 {
+		return 0, fmt.Errorf("fldist: round: negative round %d", round)
 	}
 	return round, nil
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/gob"
+	"errors"
+	"fmt"
 	"math/rand"
 	"net"
 	"net/http"
@@ -142,10 +144,48 @@ func TestStaleRoundRejected(t *testing.T) {
 	if _, err := fast.Push(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
-	// Slow client now pushes for round 0 and must be told it is stale.
+	// Slow client now pushes for round 0 and must be told it is stale. The
+	// sentinel contract is errors.Is, never ==: Push is free to wrap it.
 	slow.TrainLocal(0.05)
-	if _, err := slow.Push(context.Background(), 0); err != ErrStaleRound {
+	if _, err := slow.Push(context.Background(), 0); !errors.Is(err, ErrStaleRound) {
 		t.Fatalf("want ErrStaleRound, got %v", err)
+	}
+}
+
+// The /round body must be a bare ASCII decimal: a trailing-garbage body that
+// fmt.Sscanf("%d") would have silently accepted (e.g. "3 oops" → 3) is a
+// protocol error, as is anything non-numeric or negative.
+func TestRoundParsingRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		body string
+		want int
+		ok   bool
+	}{
+		{"3", 3, true},
+		{" 7\n", 7, true}, // surrounding whitespace is tolerated
+		{"0", 0, true},
+		{"3 oops", 0, false},
+		{"3.5", 0, false},
+		{"", 0, false},
+		{"-1", 0, false},
+		{"0x10", 0, false},
+	}
+	for _, tc := range cases {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, tc.body)
+		}))
+		c := &Client{ID: 0, BaseURL: ts.URL, HTTP: ts.Client()}
+		got, err := c.Round(context.Background())
+		ts.Close()
+		if tc.ok {
+			if err != nil || got != tc.want {
+				t.Fatalf("Round(%q) = %d, %v; want %d, nil", tc.body, got, err, tc.want)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("Round(%q) = %d, want protocol error", tc.body, got)
+		}
 	}
 }
 

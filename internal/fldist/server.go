@@ -27,6 +27,16 @@
 // proportional to the model). Stats are atomics, so a /stats poll never
 // blocks in-flight aggregation. GET /stats exposes bytes-on-wire counters
 // split raw vs compressed plus admit-latency percentiles.
+//
+// Aggregation runs in one of two modes. The synchronous default collects a
+// fixed quorum for the current round and 409s anything else. Buffered mode
+// (WithBufferedAggregation) is FedBuff-style bounded staleness: updates
+// whose base round is at most maxStaleness rounds old are admitted with
+// weight discounted by 1/(1+staleness), and the model commits every bufferK
+// admitted updates — a straggler's training pass is never discarded while it
+// stays inside the window, and fleet throughput is no longer gated by the
+// slowest client. The wire protocol is identical in both modes (the update
+// envelope always carried its base round; see docs/WIRE.md).
 package fldist
 
 import (
@@ -36,6 +46,7 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -65,10 +76,17 @@ type Update struct {
 	BN       []float64
 }
 
-// Server is a synchronous FedAvg parameter server: it collects
-// UpdatesPerRound client updates for the current round, aggregates them with
-// data-size weighting, and advances the round. Late or mismatched-round
-// updates are rejected with 409 so clients re-pull.
+// Server is a FedAvg parameter server with two aggregation modes:
+//
+//   - Synchronous (default): it collects updatesPerRound client updates for
+//     the current round, aggregates them with data-size weighting, and
+//     advances the round. Late or mismatched-round updates are rejected
+//     with 409 so clients re-pull.
+//   - Buffered (WithBufferedAggregation): FedBuff-style bounded staleness —
+//     an update is admitted while its base round is at most maxStaleness
+//     rounds old, down-weighted by 1/(1+staleness), and the model commits
+//     whenever bufferK updates have buffered. No quorum barrier, no wasted
+//     training pass inside the window.
 //
 // Lock hierarchy (see docs/ARCHITECTURE.md):
 //
@@ -86,6 +104,13 @@ type Server struct {
 	updatesPerRound int
 	nShards         int
 
+	// Buffered bounded-staleness mode (WithBufferedAggregation): async
+	// selects it, bufferK is the commit threshold, maxStale the admission
+	// window in rounds.
+	async    bool
+	bufferK  int
+	maxStale int
+
 	// model is the current immutable global state; round advance installs a
 	// fresh snapshot. The swap happens under pendMu (and, for the serving
 	// state, under serveMu) so registrations and cache builds always observe
@@ -99,6 +124,13 @@ type Server struct {
 	pendingIDs  map[int]bool
 	pendingN    int
 	pendingBufs []*updateBuf
+
+	// admitted is buffered mode's dedup horizon, replacing pendingIDs: per
+	// base round still inside the staleness window, the set of clients whose
+	// update for that base was counted — a retry of an already-counted push
+	// stays idempotent even across commits. Guarded by pendMu; evicted with
+	// the window at each commit.
+	admitted map[int]map[int]bool
 
 	// shards partition the parameter vector; bnShard holds the (small)
 	// BatchNorm statistics vector whole.
@@ -115,6 +147,13 @@ type Server struct {
 	served  map[Compression]*servedModel
 	downErr map[Compression][]float64
 
+	// history (buffered mode) retains, per base round still inside the
+	// staleness window, the round's immutable snapshot and its served-model
+	// cache, so a stale push can be reconstructed against the exact base its
+	// client pulled. Guarded by serveMu; evicted with the window at each
+	// commit.
+	history map[int]*roundState
+
 	// Counters and latency window — atomics, so Stats never contends with
 	// aggregation.
 	roundsCompleted   atomic.Int64
@@ -125,7 +164,13 @@ type Server struct {
 	bytesOutComp      atomic.Int64
 	updatesRaw        atomic.Int64
 	updatesComp       atomic.Int64
+	staleRejected     atomic.Int64
 	admitLat          latRing
+
+	// stalenessHist (buffered mode) counts admitted updates per observed
+	// staleness 0..maxStale. Atomics, so /stats never contends with
+	// admission.
+	stalenessHist []atomic.Int64
 
 	// bufPool recycles decoded-update buffers across pushes.
 	bufPool sync.Pool
@@ -140,6 +185,14 @@ type servedModel struct {
 	params  []float64
 	bn      []float64
 	nextErr []float64
+}
+
+// roundState is one committed round's retained state in buffered mode: the
+// immutable snapshot (the base of that round's raw pushes) and the codec
+// variants actually served (the bases of its delta pushes).
+type roundState struct {
+	snap   *snapshot
+	served map[Compression]*servedModel
 }
 
 // maxCodecVariants bounds how many distinct (bits, chunk) parameter sets
@@ -169,6 +222,20 @@ func NewServer(initParams, initBN []float64, updatesPerRound int, opts ...Server
 		bnShard:         shard{lo: 0, hi: len(initBN)},
 		served:          map[Compression]*servedModel{},
 		downErr:         map[Compression][]float64{},
+	}
+	if cfg.bufferK != 0 || cfg.maxStale != 0 {
+		if cfg.bufferK < 1 {
+			panic("fldist: buffered aggregation needs a commit threshold ≥ 1")
+		}
+		if cfg.maxStale < 0 || cfg.maxStale > maxStalenessLimit {
+			panic(fmt.Sprintf("fldist: max staleness %d outside [0,%d]", cfg.maxStale, maxStalenessLimit))
+		}
+		s.async = true
+		s.bufferK = cfg.bufferK
+		s.maxStale = cfg.maxStale
+		s.admitted = map[int]map[int]bool{}
+		s.history = map[int]*roundState{}
+		s.stalenessHist = make([]atomic.Int64, cfg.maxStale+1)
 	}
 	s.model.Store(&snapshot{
 		round:  0,
@@ -294,6 +361,16 @@ func (s *Server) getServed(c Compression, wantRound int) (*servedModel, error) {
 	defer s.serveMu.Unlock()
 	snap := s.model.Load()
 	if wantRound >= 0 && snap.round != wantRound {
+		// Buffered mode: a delta push may reconstruct against a base up to
+		// maxStale rounds old. Its client pulled before pushing, so if the
+		// round is still retained, the variant's served entry exists.
+		if s.async {
+			if rs := s.history[wantRound]; rs != nil {
+				if sm := rs.served[c]; sm != nil {
+					return sm, nil
+				}
+			}
+		}
 		return nil, errStaleServe
 	}
 	if sm, ok := s.served[c]; ok {
@@ -312,8 +389,31 @@ func (s *Server) getServed(c Compression, wantRound int) (*servedModel, error) {
 }
 
 // errStaleServe reports a served-base lookup for a round the server has
-// already aggregated past.
-var errStaleServe = fmt.Errorf("fldist: served base for a stale round")
+// already aggregated past (synchronous mode) or evicted from the staleness
+// window (buffered mode). Matched with errors.Is so wrapping stays safe.
+var errStaleServe = errors.New("fldist: served base for a stale round")
+
+// baseAt resolves the global snapshot a raw push with the given base round
+// trained from: the current model (lock-free — the common case must not
+// queue the push fast path behind serveMu, where a concurrent pull may be
+// running an O(model) served-cache build), or — in buffered mode — a
+// retained round inside the staleness window.
+func (s *Server) baseAt(round int) (*snapshot, error) {
+	if snap := s.model.Load(); round == snap.round {
+		return snap, nil
+	}
+	s.serveMu.Lock()
+	defer s.serveMu.Unlock()
+	// Re-read under the lock: the round may have advanced since the
+	// lock-free check, moving the wanted snapshot into history.
+	if snap := s.model.Load(); round == snap.round {
+		return snap, nil
+	}
+	if rs := s.history[round]; rs != nil {
+		return rs.snap, nil
+	}
+	return nil, errStaleServe
+}
 
 // buildServed constructs one codec variant's served model from an immutable
 // snapshot: the envelope bytes (streamed through the incremental encoder),
@@ -398,9 +498,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad update: %v", err), http.StatusBadRequest)
 		return
 	}
-	if u.Round != snap.round {
-		http.Error(w, fmt.Sprintf("stale round %d, server at %d", u.Round, snap.round),
-			http.StatusConflict)
+	if !s.admissibleRound(w, u.Round, snap) {
 		return
 	}
 	if len(u.Params) != len(snap.params) || len(u.BN) != len(snap.bn) {
@@ -422,7 +520,47 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	// The gob decoder already allocated the vectors; hand them to the shards
 	// directly (no pooled buffer to release).
 	buf := &updateBuf{params: u.Params, bn: u.BN}
+	if s.async {
+		base, err := s.baseAt(u.Round)
+		if err != nil {
+			s.rejectStale(w, u.Round)
+			return
+		}
+		s.finishUpdateAsync(w, u.ClientID, u.Round, u.Weight, buf, false, &s.updatesRaw,
+			base.params, base.bn, start)
+		return
+	}
 	s.finishUpdate(w, u.ClientID, u.Round, u.Weight, buf, false, &s.updatesRaw, start)
+}
+
+// admissibleRound runs the cheap pre-admission round check of both push
+// paths against the lock-free snapshot (the admission registry re-checks
+// authoritatively): in synchronous mode the update must carry the current
+// round; in buffered mode its base round must sit inside the staleness
+// window. A failed check answers 409 and reports false.
+func (s *Server) admissibleRound(w http.ResponseWriter, round int, snap *snapshot) bool {
+	if s.async {
+		if d := snap.round - round; d < 0 || d > s.maxStale {
+			s.rejectStale(w, round)
+			return false
+		}
+		return true
+	}
+	if round != snap.round {
+		http.Error(w, fmt.Sprintf("stale round %d, server at %d", round, snap.round),
+			http.StatusConflict)
+		return false
+	}
+	return true
+}
+
+// rejectStale answers 409 for a buffered-mode push outside the staleness
+// window and charges the stale-rejection counter (a client hearing this has
+// wasted the training pass).
+func (s *Server) rejectStale(w http.ResponseWriter, round int) {
+	s.staleRejected.Add(1)
+	http.Error(w, fmt.Sprintf("stale round %d, outside the staleness window", round),
+		http.StatusConflict)
 }
 
 // handleDeltaUpdate accepts a compressed push: quantized deltas that the
@@ -466,9 +604,7 @@ func (s *Server) handleDeltaUpdate(w http.ResponseWriter, r *http.Request, start
 	clientID := int(binary.LittleEndian.Uint32(hdr[5:9]))
 	round := int(binary.LittleEndian.Uint32(hdr[9:13]))
 	weight := math.Float64frombits(binary.LittleEndian.Uint64(hdr[13:21]))
-	if round != snap.round {
-		http.Error(w, fmt.Sprintf("stale round %d, server at %d", round, snap.round),
-			http.StatusConflict)
+	if !s.admissibleRound(w, round, snap) {
 		return
 	}
 	if err := checkWeight(weight); err != nil {
@@ -494,11 +630,16 @@ func (s *Server) handleDeltaUpdate(w http.ResponseWriter, r *http.Request, start
 		http.Error(w, "shape mismatch", http.StatusBadRequest)
 		return
 	}
-	// The base the client pulled: this round's served dequantized model at
-	// the same codec parameters — deterministic, so recomputing on a cache
-	// miss yields the same values.
+	// The base the client pulled: the base round's served dequantized model
+	// at the same codec parameters — deterministic, so recomputing on a
+	// cache miss yields the same values (buffered mode looks the entry up in
+	// the retained window instead).
 	sm, err := s.getServed(comp, round)
-	if err == errStaleServe {
+	if errors.Is(err, errStaleServe) {
+		if s.async {
+			s.rejectStale(w, round)
+			return
+		}
 		http.Error(w, fmt.Sprintf("stale round %d", round), http.StatusConflict)
 		return
 	}
@@ -559,6 +700,11 @@ func (s *Server) handleDeltaUpdate(w http.ResponseWriter, r *http.Request, start
 	if _, err := br.ReadByte(); err != io.EOF {
 		s.bufPool.Put(buf)
 		http.Error(w, "fldist: update envelope has trailing bytes", http.StatusBadRequest)
+		return
+	}
+	if s.async {
+		s.finishUpdateAsync(w, clientID, round, weight, buf, true, &s.updatesComp,
+			sm.params, sm.bn, start)
 		return
 	}
 	s.finishUpdate(w, clientID, round, weight, buf, true, &s.updatesComp, start)
@@ -668,6 +814,113 @@ func (s *Server) finishUpdate(w http.ResponseWriter, clientID, round int, weight
 	w.WriteHeader(http.StatusOK)
 }
 
+// registerAsync is buffered mode's admission registry: the authoritative
+// staleness-window check, the per-(baseRound, client) duplicate check, the
+// buffer count, and the shard appends, all under pendMu. The contribution's
+// effective weight is discounted here — weight/(1+staleness) — with the
+// staleness the registry observes, which is stable until the next commit.
+// baseP/baseBN are the exact base vectors the update trained from (retained
+// snapshot or served model — immutable either way); each shard keeps its
+// range of them so the commit can fold the update as a delta. It returns the
+// outcome plus the round the registry observed, so a quorum-full caller can
+// wait out the in-flight commit and retry.
+func (s *Server) registerAsync(clientID, baseRound int, weight float64, buf *updateBuf,
+	pooled bool, baseP, baseBN []float64) (registerOutcome, int) {
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
+	snap := s.model.Load()
+	stale := snap.round - baseRound
+	if stale < 0 || stale > s.maxStale {
+		return regStale, snap.round
+	}
+	if s.admitted[baseRound][clientID] {
+		s.duplicatesDropped.Add(1)
+		return regDuplicate, snap.round
+	}
+	if s.pendingN >= s.bufferK {
+		// Buffer full: the filling update's handler is committing right now.
+		// Unlike the synchronous server this is not a terminal verdict — the
+		// update may still be inside the next round's staleness window, so
+		// the caller waits out the commit and re-registers.
+		return regQuorumFull, snap.round
+	}
+	set := s.admitted[baseRound]
+	if set == nil {
+		set = map[int]bool{}
+		s.admitted[baseRound] = set
+	}
+	set[clientID] = true
+	s.pendingN++
+	if pooled {
+		s.pendingBufs = append(s.pendingBufs, buf)
+	}
+	effW := weight / float64(1+stale)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.add(contrib{clientID: clientID, baseRound: baseRound, weight: effW,
+			vals: buf.params[sh.lo:sh.hi], base: baseP[sh.lo:sh.hi]})
+	}
+	s.bnShard.add(contrib{clientID: clientID, baseRound: baseRound, weight: effW,
+		vals: buf.bn, base: baseBN})
+	s.stalenessHist[stale].Add(1)
+	if s.pendingN == s.bufferK {
+		return regAdmittedLast, snap.round
+	}
+	return regAdmitted, snap.round
+}
+
+// finishUpdateAsync is buffered mode's counterpart of finishUpdate:
+// admission with the staleness window, the commit barrier when the buffer
+// fills, and the HTTP verdict. A registration racing an in-flight commit
+// waits the commit out and retries — the update may still be admissible one
+// round later — instead of answering a premature 409.
+func (s *Server) finishUpdateAsync(w http.ResponseWriter, clientID, baseRound int, weight float64,
+	buf *updateBuf, pooled bool, counter *atomic.Int64, baseP, baseBN []float64, start time.Time) {
+	for {
+		outcome, observed := s.registerAsync(clientID, baseRound, weight, buf, pooled, baseP, baseBN)
+		switch outcome {
+		case regQuorumFull:
+			s.awaitRoundAdvance(observed)
+			if s.model.Load().round == observed {
+				// The commit never landed within the deadline; fail the push
+				// rather than spin. This is a server-side stall, not a
+				// staleness-window violation: the update may be perfectly
+				// fresh, so staleRejected is not charged and the retry
+				// header tells the client to re-push the same body instead
+				// of discarding the training pass.
+				if pooled {
+					s.bufPool.Put(buf)
+				}
+				w.Header().Set(retryHeader, "1")
+				http.Error(w, fmt.Sprintf("round %d commit still in flight, retry", observed),
+					http.StatusConflict)
+				return
+			}
+			continue
+		case regStale:
+			if pooled {
+				s.bufPool.Put(buf)
+			}
+			s.rejectStale(w, baseRound)
+			return
+		case regDuplicate:
+			if pooled {
+				s.bufPool.Put(buf)
+			}
+			w.Header().Set("X-Fldist-Duplicate", "1")
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		counter.Add(1)
+		s.admitLat.record(time.Since(start))
+		if outcome == regAdmittedLast {
+			s.commitBuffer()
+		}
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+}
+
 // awaitRoundAdvance briefly blocks a quorum-raced update until the
 // in-flight fold publishes the next snapshot, so its 409 is never observed
 // while /round still reports the old round. The fold is O(model) work in
@@ -694,27 +947,10 @@ func (s *Server) advanceRound() {
 		params: make([]float64, len(old.params)),
 		bn:     make([]float64, len(old.bn)),
 	}
-	// Shards fold concurrently when the runtime can actually parallelize
-	// them; on a single-P runtime the goroutine fan-out is pure overhead and
-	// an inline loop produces the same (order-independent) result.
-	if len(s.shards) > 1 && runtime.GOMAXPROCS(0) > 1 {
-		var wg sync.WaitGroup
-		for i := range s.shards {
-			sh := &s.shards[i]
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				sh.foldInto(next.params)
-			}()
-		}
-		s.bnShard.foldInto(next.bn)
-		wg.Wait()
-	} else {
-		for i := range s.shards {
-			s.shards[i].foldInto(next.params)
-		}
-		s.bnShard.foldInto(next.bn)
-	}
+	s.foldShards(
+		func(sh *shard) { sh.foldInto(next.params) },
+		func() { s.bnShard.foldInto(next.bn) },
+	)
 
 	// Commit the downlink error-feedback residuals of the codec variants
 	// actually served this round (bounded by maxCodecVariants), replacing
@@ -732,15 +968,107 @@ func (s *Server) advanceRound() {
 	s.pendMu.Lock()
 	s.model.Store(next)
 	clear(s.pendingIDs)
+	s.resetPendingLocked()
+	s.pendMu.Unlock()
+	s.serveMu.Unlock()
+
+	s.roundsCompleted.Add(1)
+}
+
+// foldShards runs fold over every parameter shard — concurrently when the
+// runtime can actually parallelize; on a single-P runtime the goroutine
+// fan-out is pure overhead and an inline loop produces the same
+// (order-independent) result — with the small BN fold on the calling
+// goroutine either way.
+func (s *Server) foldShards(fold func(*shard), foldBN func()) {
+	if len(s.shards) > 1 && runtime.GOMAXPROCS(0) > 1 {
+		var wg sync.WaitGroup
+		for i := range s.shards {
+			sh := &s.shards[i]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				fold(sh)
+			}()
+		}
+		foldBN()
+		wg.Wait()
+	} else {
+		for i := range s.shards {
+			fold(&s.shards[i])
+		}
+		foldBN()
+	}
+}
+
+// resetPendingLocked recycles the folded round's pooled update buffers into
+// bufPool and zeroes the buffer count. Caller holds pendMu, and the fold
+// must already have drained the shards' references to these buffers;
+// truncating keeps the slice's capacity for the next round's appends.
+func (s *Server) resetPendingLocked() {
 	s.pendingN = 0
-	// The fold above already drained the shards' references to these
-	// buffers, so they can rejoin the pool; truncating keeps the slice's
-	// capacity for next round's appends.
 	for i, b := range s.pendingBufs {
 		s.bufPool.Put(b)
 		s.pendingBufs[i] = nil
 	}
 	s.pendingBufs = s.pendingBufs[:0]
+}
+
+// commitBuffer is buffered mode's round barrier: it folds the bufferK
+// buffered contributions — each a staleness-discounted delta against its own
+// base round — onto the current model (shards fold concurrently, each in
+// (baseRound, clientID) order; see shard.foldAsyncInto for the determinism
+// argument), retains the committed round's snapshot and served cache for the
+// staleness window, evicts state that fell out of the window, and publishes
+// the new snapshot. Only the handler whose update filled the buffer runs
+// this; racing registrations observe either the full old buffer (and wait
+// the commit out) or the fresh empty one.
+func (s *Server) commitBuffer() {
+	old := s.model.Load()
+	next := &snapshot{
+		round:  old.round + 1,
+		params: make([]float64, len(old.params)),
+		bn:     make([]float64, len(old.bn)),
+	}
+	s.foldShards(
+		func(sh *shard) { sh.foldAsyncInto(next.params, old.params) },
+		func() { s.bnShard.foldAsyncInto(next.bn, old.bn) },
+	)
+
+	s.serveMu.Lock()
+	// Advance the downlink error-feedback chain of the variants served this
+	// round. Variants that skipped the round (buffered commits can outpace a
+	// slow puller) keep their previous residual instead of losing the chain;
+	// if that ever grows the map past the per-round variant bound, the
+	// unserved entries are the ones dropped.
+	for c, sm := range s.served {
+		s.downErr[c] = sm.nextErr
+	}
+	if len(s.downErr) > maxCodecVariants {
+		for c := range s.downErr {
+			if _, ok := s.served[c]; !ok {
+				delete(s.downErr, c)
+			}
+		}
+	}
+	// Retain the committed round for stale-push reconstruction; evict
+	// everything the new round pushes out of the staleness window.
+	s.history[old.round] = &roundState{snap: old, served: s.served}
+	for r := range s.history {
+		if r < next.round-s.maxStale {
+			delete(s.history, r)
+		}
+	}
+	s.served = map[Compression]*servedModel{}
+
+	s.pendMu.Lock()
+	s.model.Store(next)
+	for r := range s.admitted {
+		if r < next.round-s.maxStale {
+			delete(s.admitted, r)
+		}
+	}
+	s.resetPendingLocked()
 	s.pendMu.Unlock()
 	s.serveMu.Unlock()
 
@@ -765,7 +1093,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // in-flight pushes or pulls.
 func (s *Server) Stats() Stats {
 	p50, p99 := s.admitLat.percentiles()
-	return Stats{
+	st := Stats{
 		Round:              s.model.Load().round,
 		RoundsCompleted:    int(s.roundsCompleted.Load()),
 		DuplicatesDropped:  int(s.duplicatesDropped.Load()),
@@ -779,6 +1107,19 @@ func (s *Server) Stats() Stats {
 		AdmitP50Micros:     p50,
 		AdmitP99Micros:     p99,
 	}
+	if s.async {
+		b := &BufferedStats{
+			BufferSize:    s.bufferK,
+			MaxStaleness:  s.maxStale,
+			StaleRejected: s.staleRejected.Load(),
+			StalenessHist: make([]int64, len(s.stalenessHist)),
+		}
+		for i := range b.StalenessHist {
+			b.StalenessHist[i] = s.stalenessHist[i].Load()
+		}
+		st.Buffered = b
+	}
+	return st
 }
 
 // Round returns the server's current round. Lock-free.

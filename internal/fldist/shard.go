@@ -27,11 +27,16 @@ type snapshot struct {
 }
 
 // contrib is one admitted client's contribution restricted to a shard's
-// value range.
+// value range. In synchronous mode only (clientID, weight, vals) are set.
+// In buffered mode baseRound tags the round of the base the client trained
+// from, weight is the staleness-discounted effective weight, and base is the
+// exact base values (for this shard's range) the update is a delta against.
 type contrib struct {
-	clientID int
-	weight   float64
-	vals     []float64
+	clientID  int
+	baseRound int
+	weight    float64
+	vals      []float64
+	base      []float64
 }
 
 // shard owns one contiguous range [lo, hi) of the flat parameter vector (or
@@ -84,8 +89,62 @@ func (sh *shard) foldInto(dst []float64) {
 			out[i] *= inv
 		}
 	}
-	// Keep the backing array for next round's appends; drop the references
-	// so released update buffers are not pinned past the fold.
+	sh.reset()
+}
+
+// foldAsyncInto applies the shard's buffered contributions as
+// staleness-weighted deltas on top of cur[lo:hi], writing the result into
+// dst[lo:hi] (which arrives zeroed):
+//
+//	dst = cur + Σ wₖ·(valsₖ − baseₖ) / Σ wₖ
+//
+// where each wₖ is the effective (already staleness-discounted) weight and
+// baseₖ the exact base the client trained from. Contributions are folded in
+// ascending (baseRound, clientID) order — the per-(baseRound, client) dedup
+// horizon makes that key unique within a buffer — so the committed model is
+// a pure function of the buffer's admitted multiset, independent of arrival
+// order, shard count and GOMAXPROCS, with one fixed per-element operation
+// sequence.
+func (sh *shard) foldAsyncInto(dst, cur []float64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i := 1; i < len(sh.pend); i++ {
+		for j := i; j > 0 && less(sh.pend[j], sh.pend[j-1]); j-- {
+			sh.pend[j], sh.pend[j-1] = sh.pend[j-1], sh.pend[j]
+		}
+	}
+	out := dst[sh.lo:sh.hi]
+	cur = cur[sh.lo:sh.hi]
+	total := 0.0
+	for _, c := range sh.pend {
+		total += c.weight
+		for i, x := range c.vals {
+			out[i] += c.weight * (x - c.base[i])
+		}
+	}
+	if total != 0 {
+		inv := 1.0 / total
+		for i := range out {
+			out[i] = cur[i] + out[i]*inv
+		}
+	} else {
+		copy(out, cur)
+	}
+	sh.reset()
+}
+
+// less orders contributions by (baseRound, clientID).
+func less(a, b contrib) bool {
+	if a.baseRound != b.baseRound {
+		return a.baseRound < b.baseRound
+	}
+	return a.clientID < b.clientID
+}
+
+// reset keeps the pending list's backing array for next round's appends but
+// drops the references so released update buffers are not pinned past the
+// fold.
+func (sh *shard) reset() {
 	for i := range sh.pend {
 		sh.pend[i] = contrib{}
 	}
@@ -108,7 +167,34 @@ const maxShards = 64
 
 // serverConfig carries NewServer's optional settings.
 type serverConfig struct {
-	shards int
+	shards   int
+	bufferK  int
+	maxStale int
+}
+
+// maxStalenessLimit bounds the buffered-mode staleness window: the server
+// retains one model snapshot (plus served codec bodies) per round inside the
+// window, so an unbounded window would be an unbounded memory commitment.
+const maxStalenessLimit = 64
+
+// WithBufferedAggregation switches the server from the synchronous quorum to
+// FedBuff-style buffered bounded-staleness aggregation: an update whose base
+// round is at most maxStaleness rounds behind the current round is admitted
+// (down-weighted by 1/(1+staleness)) instead of rejected with 409, and a new
+// global model commits whenever k admitted updates have buffered — there is
+// no round barrier, so fleet throughput is no longer gated by the slowest
+// client and a straggler's training pass is never thrown away while it stays
+// inside the window. k replaces updatesPerRound as the commit threshold.
+// maxStaleness must be in [0, 64] (each retained round costs one model
+// snapshot of server memory); 0 tolerates no staleness but still commits in
+// buffers of k. The committed model is a pure function of each buffer's
+// admitted multiset — bit-identical across arrival order, shard count and
+// GOMAXPROCS (TestAsyncArrivalOrderInvariance).
+func WithBufferedAggregation(k, maxStaleness int) ServerOption {
+	return func(c *serverConfig) {
+		c.bufferK = k
+		c.maxStale = maxStaleness
+	}
 }
 
 // ServerOption configures NewServer.

@@ -56,6 +56,12 @@ const (
 	codecHeader = "X-Fldist-Codec"
 	codecName   = "fpq1"
 
+	// retryHeader marks a 409 that is a transient server-side condition (a
+	// buffered commit still being published), not a staleness verdict: the
+	// same push body may be re-sent as-is. Clients that ignore it and treat
+	// the 409 as stale still behave correctly, just wastefully.
+	retryHeader = "X-Fldist-Retry"
+
 	contentTypeGob   = "application/octet-stream"
 	contentTypeModel = "application/x-fldist-model"
 	contentTypeDelta = "application/x-fldist-delta"
@@ -165,4 +171,22 @@ type Stats struct {
 	UpdatesCompressed  int64   `json:"updates_compressed"`
 	AdmitP50Micros     float64 `json:"admit_p50_us"`
 	AdmitP99Micros     float64 `json:"admit_p99_us"`
+
+	// Buffered is the buffered-aggregation section, non-nil exactly when
+	// the server runs WithBufferedAggregation — presence is the mode
+	// indicator, so a legal MaxStaleness of 0 is still distinguishable from
+	// "not buffered", and a synchronous server's JSON payload is unchanged.
+	Buffered *BufferedStats `json:"buffered,omitempty"`
+}
+
+// BufferedStats is the buffered bounded-staleness section of Stats.
+// StalenessHist[s] counts admitted updates whose base round was s rounds
+// behind the current round at admission, s ∈ [0, MaxStaleness];
+// StaleRejected counts pushes 409-ed for falling outside the window — each
+// one is a training pass some client threw away.
+type BufferedStats struct {
+	BufferSize    int     `json:"buffer_size"`
+	MaxStaleness  int     `json:"max_staleness"`
+	StaleRejected int64   `json:"stale_rejected"`
+	StalenessHist []int64 `json:"staleness_hist"`
 }

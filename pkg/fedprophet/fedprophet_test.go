@@ -1,12 +1,17 @@
 package fedprophet_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"errors"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
+	"fedprophet/internal/fldist"
 	"fedprophet/pkg/fedprophet"
 )
 
@@ -324,5 +329,68 @@ func TestConvBackendsMatchEndToEnd(t *testing.T) {
 	if !closeEnough(gemm.CleanAcc, direct.CleanAcc) || !closeEnough(gemm.PGDAcc, direct.PGDAcc) {
 		t.Fatalf("final accuracies diverge across backends: %v/%v vs %v/%v",
 			gemm.CleanAcc, gemm.PGDAcc, direct.CleanAcc, direct.PGDAcc)
+	}
+}
+
+// The public API must expose the buffered bounded-staleness aggregation
+// mode: a ParamServer built with WithBufferedAggregation commits on buffer
+// fill instead of a round quorum and reports the staleness histogram in
+// ServerStats; a synchronous server's stats stay free of the async fields.
+func TestParamServerBufferedAggregation(t *testing.T) {
+	params := []float64{0.5, -1.25, 2.0, 0.0, 3.5}
+	srv := fedprophet.NewParamServer(params, nil, 1,
+		fedprophet.WithServerShards(2),
+		fedprophet.WithBufferedAggregation(2, 1))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	push := func(id, round int) int {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(fldist.Update{
+			ClientID: id, Round: round, Weight: 1,
+			Params: []float64{0.1, 0.1, 0.1, 0.1, 0.1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Post(ts.URL+"/update", "application/octet-stream", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if st := push(0, 0); st != http.StatusOK {
+		t.Fatalf("first push: status %d", st)
+	}
+	if srv.Round() != 0 {
+		t.Fatal("round advanced before the buffer filled")
+	}
+	// The second update is one round stale relative to nothing yet — same
+	// base round 0 — and fills the buffer: the commit happens with no
+	// quorum barrier.
+	if st := push(1, 0); st != http.StatusOK {
+		t.Fatalf("second push: status %d", st)
+	}
+	if srv.Round() != 1 {
+		t.Fatalf("round = %d after the buffer filled, want 1", srv.Round())
+	}
+	// A base-round-0 push is still inside the staleness window of 1.
+	if st := push(2, 0); st != http.StatusOK {
+		t.Fatalf("stale-but-in-window push: status %d", st)
+	}
+
+	stats := srv.Stats()
+	if stats.Buffered == nil || stats.Buffered.BufferSize != 2 || stats.Buffered.MaxStaleness != 1 {
+		t.Fatalf("buffered stats section not populated: %+v", stats.Buffered)
+	}
+	if hist := stats.Buffered.StalenessHist; len(hist) != 2 || hist[0] != 2 || hist[1] != 1 {
+		t.Fatalf("staleness histogram = %v, want [2 1]", hist)
+	}
+
+	var syncStats fedprophet.ServerStats = fedprophet.NewParamServer(params, nil, 1).Stats()
+	if syncStats.Buffered != nil {
+		t.Fatalf("synchronous server leaked the buffered stats section: %+v", syncStats)
 	}
 }

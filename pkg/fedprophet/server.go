@@ -36,6 +36,23 @@ type (
 // (GOMAXPROCS, capped at 64).
 func WithServerShards(n int) ParamServerOption { return fldist.WithShards(n) }
 
+// WithBufferedAggregation switches the parameter server from the
+// synchronous quorum to FedBuff-style buffered bounded-staleness
+// aggregation: a client update is admitted as long as the round it trained
+// from is at most maxStaleness rounds behind the server, down-weighted by
+// 1/(1+staleness), and a new global model commits whenever k admitted
+// updates have buffered. There is no round barrier, so fleet throughput is
+// not gated by the slowest client and a straggler's training pass inside
+// the window is never thrown away. k replaces updatesPerRound as the commit
+// threshold; maxStaleness must be in [0, 64] (each tolerated round retains
+// one model snapshot server-side). Run fleet clients with Async pipelining
+// (fldist.Client.Async / cmd/fldist -async) to exploit it; ServerStats
+// gains a per-staleness admission histogram. The wire protocol is unchanged
+// — updates always carried their base round.
+func WithBufferedAggregation(k, maxStaleness int) ParamServerOption {
+	return fldist.WithBufferedAggregation(k, maxStaleness)
+}
+
 // NewParamServer builds a parameter server seeded with the given global
 // state — typically ExportModelState of a trained Result, or the export of a
 // freshly built model for training from scratch. updatesPerRound is the
