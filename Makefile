@@ -14,12 +14,14 @@
 #                         one 4x-slow client, recording wasted training passes;
 #                         pinned to GOMAXPROCS=4 so the concurrency plane is
 #                         exercised even on smaller CI hosts)
+#   make smoke-edge     - 2-tier hierarchical topology check: edge-aggregated
+#                         vs flat fleet, bit-identical final models (in ci)
 #   make check-docs     - fail on dead relative links in README/docs
 #   make cover   - tests with coverage summary
 
 GO ?= go
 
-.PHONY: all build vet test test-race check-docs smoke-serve ci bench bench-parallel bench-conv bench-json bench-wire bench-serve cover clean
+.PHONY: all build vet test test-race check-docs smoke-serve smoke-edge ci bench bench-parallel bench-conv bench-json bench-wire bench-serve cover clean
 
 all: ci
 
@@ -51,7 +53,13 @@ check-docs:
 smoke-serve:
 	GOMAXPROCS=4 $(GO) run ./cmd/benchserve -smoke
 
-ci: build vet test test-race check-docs smoke-serve
+# A ~2-second hierarchical topology check over real HTTP: 2 edge aggregators
+# × 4 clients vs the same 8 clients flat, asserting the final models are
+# bit-identical and the root saw 4x fewer push admissions.
+smoke-edge:
+	GOMAXPROCS=4 $(GO) run ./cmd/benchserve -smoke-edge
+
+ci: build vet test test-race check-docs smoke-serve smoke-edge
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
@@ -69,7 +77,8 @@ bench-wire:
 	$(GO) run ./cmd/benchwire -out BENCH_wire.json
 
 bench-serve:
-	GOMAXPROCS=4 $(GO) run ./cmd/benchserve -duration 5s -out BENCH_serve.json
+	GOMAXPROCS=4 $(GO) run ./cmd/benchserve -duration 5s -out BENCH_serve.json \
+		-timestamp $$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
 cover:
 	$(GO) test -cover ./...

@@ -84,7 +84,19 @@ type stragglerResult struct {
 	StragglerUpdates int64   `json:"straggler_updates"`
 }
 
+// runMeta records the machine and toolchain the numbers were measured on, so
+// a tracked BENCH_serve.json is interpretable after the hardware changes.
+// The timestamp is passed in (-timestamp, typically `date -u` from make)
+// rather than sampled, keeping reruns on identical inputs byte-identical.
+type runMeta struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+	Timestamp  string `json:"timestamp,omitempty"`
+}
+
 type report struct {
+	Meta           runMeta           `json:"meta"`
 	Params         int               `json:"params"`
 	Bits           int               `json:"bits"`
 	Chunk          int               `json:"chunk"`
@@ -95,6 +107,7 @@ type report struct {
 	AllocReduction float64           `json:"alloc_reduction"`
 	Straggler      []stragglerResult `json:"straggler,omitempty"`
 	AsyncSpeedup   float64           `json:"async_speedup_vs_sync,omitempty"`
+	Hierarchical   []hierResult      `json:"hierarchical,omitempty"`
 }
 
 func main() {
@@ -107,10 +120,16 @@ func main() {
 		duration = flag.Duration("duration", 3*time.Second, "wall-clock per phase")
 		shards   = flag.Int("shards", 0, "shard count for the sharded server (0 = server default)")
 		seed     = flag.Int64("seed", 1, "synthetic model seed")
-		train    = flag.Duration("train", 20*time.Millisecond, "simulated local-training time per round in the straggler phases")
-		smoke    = flag.Bool("smoke", false, "CI smoke: N=8 only, short phases, no output file")
+		train     = flag.Duration("train", 20*time.Millisecond, "simulated local-training time per round in the straggler phases")
+		smoke     = flag.Bool("smoke", false, "CI smoke: N=8 only, short phases, no output file")
+		smokeEdge = flag.Bool("smoke-edge", false, "CI topology check: 2 edges × 4 clients vs 8 flat over real HTTP, bit-identical or fail")
+		timestamp = flag.String("timestamp", "", "run timestamp recorded in the output metadata (e.g. `date -u +%Y-%m-%dT%H:%M:%SZ`)")
 	)
 	flag.Parse()
+	if *smokeEdge {
+		runSmokeEdge()
+		return
+	}
 	stragglerN := 16
 	if *smoke {
 		*clients, *duration, *out = "8", 600*time.Millisecond, ""
@@ -133,9 +152,17 @@ func main() {
 		initParams[i] = rng.NormFloat64()
 	}
 
-	rep := report{Params: *nParams, Bits: *bits, Chunk: *chunk, GOMAXPROCS: runtime.GOMAXPROCS(0)}
-	log.Printf("benchserve: %d params, %d-bit/%d-chunk deltas, GOMAXPROCS=%d",
-		*nParams, *bits, *chunk, rep.GOMAXPROCS)
+	rep := report{
+		Meta: runMeta{
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			GoVersion:  runtime.Version(),
+			Timestamp:  *timestamp,
+		},
+		Params: *nParams, Bits: *bits, Chunk: *chunk, GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	log.Printf("benchserve: %d params, %d-bit/%d-chunk deltas, GOMAXPROCS=%d, NumCPU=%d, %s",
+		*nParams, *bits, *chunk, rep.Meta.GOMAXPROCS, rep.Meta.NumCPU, rep.Meta.GoVersion)
 
 	for _, n := range ns {
 		base := runPhase(newBaselineHandler(initParams, n), "single-mutex", n, *duration, initParams, *bits, *chunk)
@@ -186,6 +213,20 @@ func main() {
 		stragglerN, *train,
 		syncStr.UpdatesPerSec, syncStr.WastedPasses, syncStr.StragglerUpdates,
 		asyncStr.UpdatesPerSec, asyncStr.WastedPasses, asyncStr.StragglerUpdates, rep.AsyncSpeedup)
+
+	// Hierarchical phase: the same client count flat vs split into cohorts
+	// behind edge aggregators — the root-side admission reduction is the
+	// tier's whole point (≥ the cohort fan-in by construction).
+	hierEdges, hierFanIn := 4, 4
+	if *smoke {
+		hierEdges = 2
+	}
+	flatH := runHierPhase(0, hierEdges*hierFanIn, *duration, initParams, *bits, *chunk, *shards)
+	tierH := runHierPhase(hierEdges, hierFanIn*hierEdges, *duration, initParams, *bits, *chunk, *shards)
+	rep.Hierarchical = []hierResult{flatH, tierH}
+	log.Printf("hierarchical N=%d: flat %d client pushes → %d root admissions | %d edges×%d %d client pushes → %d root admissions (%.1fx reduction)",
+		flatH.Clients, flatH.ClientPushes, flatH.RootAdmissions,
+		hierEdges, hierFanIn, tierH.ClientPushes, tierH.RootAdmissions, tierH.RootPushReduction)
 
 	if *out == "" {
 		return

@@ -32,6 +32,20 @@
 // straggler's training pass is never thrown away while it stays inside the
 // window. Run the clients with -async to pipeline pull→train→push against
 // such a server. The wire protocol is identical in both modes.
+//
+// Edge aggregator (the middle tier of a hierarchical topology):
+//
+//	fldist -edge -upstream http://root:8080 -addr :8081 -flush 8 -flush-age 500ms
+//
+// An edge serves its cohort of clients exactly like -serve does (same
+// routes, same wire protocol, buffered admission) but pre-folds the
+// cohort's admitted updates into one combined delta and pushes it to
+// -upstream — the root, or another edge — as an ordinary wire update, so N
+// clients cost the upstream one push per flush instead of N. -cohort takes
+// a comma-separated list of names; with more than one, the process hosts
+// one edge per cohort behind a multi-tenant registry (clients use
+// http://edge:8081/<name>). SIGTERM drains: buffered cohort work is pushed
+// upstream before the process exits.
 package main
 
 import (
@@ -44,6 +58,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,6 +86,11 @@ func main() {
 		stale    = flag.Int("staleness", 4, "buffered mode: admit updates up to this many rounds behind, down-weighted 1/(1+staleness)")
 		async    = flag.Bool("async", false, "client mode: pipeline pull→train→push for a buffered server (no round barrier)")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) for live profiling")
+		edge     = flag.Bool("edge", false, "run an edge aggregator between a client cohort and -upstream")
+		upstream = flag.String("upstream", "", "edge mode: upstream server URL (root or another edge)")
+		cohort   = flag.String("cohort", "", "edge mode: cohort name(s), comma-separated; >1 mounts a multi-tenant registry")
+		flushK   = flag.Int("flush", 8, "edge mode: push upstream once this many cohort updates buffered")
+		flushAge = flag.Duration("flush-age", 500*time.Millisecond, "edge mode: push upstream once the oldest buffered update is this old (0 = depth/drain only)")
 	)
 	flag.Parse()
 
@@ -91,6 +111,68 @@ func main() {
 	defer stop()
 
 	switch {
+	case *edge:
+		if *upstream == "" {
+			log.Fatal("edge mode needs -upstream <url>")
+		}
+		names := strings.Split(*cohort, ",")
+		if *cohort == "" {
+			names = []string{""}
+		}
+		mkEdge := func(name string) *fldist.Edge {
+			return fldist.NewEdge(*upstream,
+				fldist.WithEdgeName(name),
+				fldist.WithEdgeFlush(*flushK, *flushAge),
+				fldist.WithEdgeWindow(*stale),
+				fldist.WithEdgeShards(*shards))
+		}
+		if len(names) == 1 {
+			e := mkEdge(names[0])
+			log.Printf("edge aggregator on %s → %s (cohort %q, flush K=%d age=%s, window ≤%d)",
+				*addr, *upstream, names[0], *flushK, *flushAge, *stale)
+			// Serve drains on SIGTERM: buffered cohort work is pushed
+			// upstream before we exit.
+			if err := e.ListenAndServe(ctx, *addr); err != nil {
+				log.Fatal(err)
+			}
+			logEdgeStats(e)
+			return
+		}
+		// Multi-tenant: one edge per cohort behind the registry mux, each
+		// drained on shutdown.
+		reg := fldist.NewRegistry()
+		edges := make([]*fldist.Edge, 0, len(names))
+		for _, name := range names {
+			e := mkEdge(name)
+			if err := e.Start(ctx); err != nil {
+				log.Fatal(err)
+			}
+			if err := reg.Add(name, e.Handler()); err != nil {
+				log.Fatal(err)
+			}
+			edges = append(edges, e)
+		}
+		log.Printf("edge registry on %s → %s (cohorts %v, flush K=%d age=%s)",
+			*addr, *upstream, reg.Names(), *flushK, *flushAge)
+		hs := &http.Server{Addr: *addr, Handler: reg.Handler()}
+		go func() {
+			<-ctx.Done()
+			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = hs.Shutdown(shutCtx)
+		}()
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+		for _, e := range edges {
+			drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if err := e.Drain(drainCtx); err != nil {
+				log.Printf("edge %q drain: %v", e.Name(), err)
+			}
+			cancel()
+			logEdgeStats(e)
+		}
+
 	case *serve:
 		m := build()
 		opts := []fldist.ServerOption{fldist.WithShards(*shards)}
@@ -154,6 +236,14 @@ func main() {
 		log.Printf("client %d: done (%d stale retrains)", *clientID, c.StaleRetrains)
 
 	default:
-		fmt.Println("specify -serve or -connect <url>; see -h")
+		fmt.Println("specify -serve, -edge -upstream <url>, or -connect <url>; see -h")
 	}
+}
+
+// logEdgeStats prints an edge's shutdown summary: the upstream tier section
+// next to the cohort-facing admission numbers.
+func logEdgeStats(e *fldist.Edge) {
+	up := e.Stats().Upstream
+	log.Printf("edge %q: %d upstream pushes (%d by depth, %d by age, %d by drain), %d rebased, %d retries, %d cohort pulls served from cache",
+		e.Name(), up.Pushes, up.FlushK, up.FlushAge, up.FlushDrain, up.Rebased, up.Retries, up.CohortPulls)
 }

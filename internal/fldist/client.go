@@ -581,6 +581,13 @@ func (c *Client) awaitRoundAfter(ctx context.Context, round int) error {
 // its trained parameters — timing-dependent. The global source is
 // thread-safe and only influences sleep lengths, never results.
 func (c *Client) jitter(d time.Duration) time.Duration {
+	return jitterDur(d)
+}
+
+// jitterDur draws a duration uniformly from [d/2, d) off the global RNG —
+// shared by the client's round polling and the edge aggregator's upstream
+// retries, so every backoff in the tree is decorrelated the same way.
+func jitterDur(d time.Duration) time.Duration {
 	half := int64(d / 2)
 	if half <= 0 {
 		return d

@@ -111,6 +111,17 @@ type Server struct {
 	bufferK  int
 	maxStale int
 
+	// Tier hooks (edge.go). manual switches buffered mode from auto-commit
+	// (the handler filling the buffer runs the fold) to edge-driven commits:
+	// admissions never trigger a commit themselves — the edge's flusher
+	// calls commitNow when its flush policy fires and adopt after every
+	// upstream resync. flushSignal, when non-nil, receives a (non-blocking)
+	// token after every manual-mode admission so the flusher can re-check
+	// its K threshold without polling. Both are set before the server starts
+	// serving and never change.
+	manual      bool
+	flushSignal chan struct{}
+
 	// model is the current immutable global state; round advance installs a
 	// fresh snapshot. The swap happens under pendMu (and, for the serving
 	// state, under serveMu) so registrations and cache builds always observe
@@ -118,12 +129,17 @@ type Server struct {
 	model atomic.Pointer[snapshot]
 
 	// pendMu guards the admission registry: which clients already counted
-	// toward the current round, how many, and the pooled buffers to release
-	// when it folds.
+	// toward the current round, how many, their summed effective weight, and
+	// the pooled buffers to release when it folds. committing marks an
+	// edge-driven commit in flight (manual mode only) — it blocks admission
+	// exactly as a full buffer does in auto mode, and clears when the fold
+	// publishes its snapshot.
 	pendMu      sync.Mutex
 	pendingIDs  map[int]bool
 	pendingN    int
+	pendingW    float64
 	pendingBufs []*updateBuf
+	committing  bool
 
 	// admitted is buffered mode's dedup horizon, replacing pendingIDs: per
 	// base round still inside the staleness window, the set of clients whose
@@ -166,6 +182,10 @@ type Server struct {
 	updatesComp       atomic.Int64
 	staleRejected     atomic.Int64
 	admitLat          latRing
+
+	// bufferedNow mirrors pendingN as an atomic so tier flush policy and
+	// /stats can read the live buffer depth without taking pendMu.
+	bufferedNow atomic.Int64
 
 	// stalenessHist (buffered mode) counts admitted updates per observed
 	// staleness 0..maxStale. Atomics, so /stats never contends with
@@ -837,11 +857,13 @@ func (s *Server) registerAsync(clientID, baseRound int, weight float64, buf *upd
 		s.duplicatesDropped.Add(1)
 		return regDuplicate, snap.round
 	}
-	if s.pendingN >= s.bufferK {
-		// Buffer full: the filling update's handler is committing right now.
-		// Unlike the synchronous server this is not a terminal verdict — the
-		// update may still be inside the next round's staleness window, so
-		// the caller waits out the commit and re-registers.
+	if s.committing || (!s.manual && s.pendingN >= s.bufferK) {
+		// A commit is folding right now: the buffer filled (auto mode) or the
+		// edge's flusher froze it (manual mode). Unlike the synchronous
+		// server this is not a terminal verdict — the update may still be
+		// inside the next round's staleness window, so the caller waits out
+		// the commit and re-registers. Manual mode never fills-and-folds on
+		// the admission path, so the bufferK threshold does not gate it.
 		return regQuorumFull, snap.round
 	}
 	set := s.admitted[baseRound]
@@ -862,8 +884,10 @@ func (s *Server) registerAsync(clientID, baseRound int, weight float64, buf *upd
 	}
 	s.bnShard.add(contrib{clientID: clientID, baseRound: baseRound, weight: effW,
 		vals: buf.bn, base: baseBN})
+	s.pendingW += effW
+	s.bufferedNow.Add(1)
 	s.stalenessHist[stale].Add(1)
-	if s.pendingN == s.bufferK {
+	if !s.manual && s.pendingN == s.bufferK {
 		return regAdmittedLast, snap.round
 	}
 	return regAdmitted, snap.round
@@ -915,6 +939,9 @@ func (s *Server) finishUpdateAsync(w http.ResponseWriter, clientID, baseRound in
 		s.admitLat.record(time.Since(start))
 		if outcome == regAdmittedLast {
 			s.commitBuffer()
+		}
+		if s.manual {
+			s.signalFlush()
 		}
 		w.WriteHeader(http.StatusOK)
 		return
@@ -1002,11 +1029,15 @@ func (s *Server) foldShards(fold func(*shard), foldBN func()) {
 }
 
 // resetPendingLocked recycles the folded round's pooled update buffers into
-// bufPool and zeroes the buffer count. Caller holds pendMu, and the fold
-// must already have drained the shards' references to these buffers;
-// truncating keeps the slice's capacity for the next round's appends.
+// bufPool and zeroes the buffer count, its weight sum, and the in-flight
+// commit mark. Caller holds pendMu, and the fold must already have drained
+// the shards' references to these buffers; truncating keeps the slice's
+// capacity for the next round's appends.
 func (s *Server) resetPendingLocked() {
 	s.pendingN = 0
+	s.pendingW = 0
+	s.committing = false
+	s.bufferedNow.Store(0)
 	for i, b := range s.pendingBufs {
 		s.bufPool.Put(b)
 		s.pendingBufs[i] = nil

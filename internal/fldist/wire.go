@@ -177,6 +177,13 @@ type Stats struct {
 	// indicator, so a legal MaxStaleness of 0 is still distinguishable from
 	// "not buffered", and a synchronous server's JSON payload is unchanged.
 	Buffered *BufferedStats `json:"buffered,omitempty"`
+
+	// Upstream is the tier section, non-nil exactly when these stats come
+	// from an edge aggregator (Edge.Stats / GET /stats on an edge): the
+	// edge's client-side view of its upstream server. Like every other
+	// section it is backed by atomics only — polling an edge's /stats never
+	// blocks cohort admission or an in-flight upstream flush.
+	Upstream *UpstreamStats `json:"upstream,omitempty"`
 }
 
 // BufferedStats is the buffered bounded-staleness section of Stats.
@@ -189,4 +196,29 @@ type BufferedStats struct {
 	MaxStaleness  int     `json:"max_staleness"`
 	StaleRejected int64   `json:"stale_rejected"`
 	StalenessHist []int64 `json:"staleness_hist"`
+}
+
+// UpstreamStats is the hierarchical-aggregation section of an edge's Stats:
+// everything the edge has done as a *client* of its upstream server. Pushes
+// counts combined cohort deltas admitted upstream; Rebased counts flushes
+// whose base fell out of the upstream staleness window mid-buffer and were
+// re-expressed against a freshly pulled base instead of being thrown away;
+// Retries counts transport-level retry sleeps against an unreachable or
+// stalled upstream. FlushK / FlushAge / FlushDrain split the flushes by what
+// triggered them (buffer depth K, oldest-update age T, graceful drain).
+// CohortPulls counts cohort GET /model requests served from the edge's
+// pull-through cache — every one of them is a pull the root did not see.
+// Buffered is the live depth of the cohort buffer awaiting the next flush.
+type UpstreamStats struct {
+	URL         string `json:"url"`
+	Cohort      string `json:"cohort,omitempty"`
+	BaseRound   int    `json:"base_round"`
+	Pushes      int64  `json:"pushes"`
+	Retries     int64  `json:"retries"`
+	Rebased     int64  `json:"rebased"`
+	FlushK      int64  `json:"flush_k"`
+	FlushAge    int64  `json:"flush_age"`
+	FlushDrain  int64  `json:"flush_drain"`
+	CohortPulls int64  `json:"cohort_pulls"`
+	Buffered    int64  `json:"buffered"`
 }

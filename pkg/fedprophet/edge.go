@@ -1,0 +1,69 @@
+package fedprophet
+
+import (
+	"time"
+
+	"fedprophet/internal/fldist"
+)
+
+// Hierarchical aggregation: edge aggregators stand between client cohorts
+// and the root ParamServer. An edge serves its cohort exactly like a
+// ParamServer (same routes, same wire protocol, buffered admission) and
+// pre-folds the cohort's admitted updates into one combined delta pushed
+// upstream as an ordinary wire update — the root cannot tell an edge from a
+// big client, topologies nest, and a 2-tier tree commits the same model the
+// flat fleet would have over the same admitted multiset. See
+// docs/ARCHITECTURE.md "Hierarchical aggregation".
+
+type (
+	// EdgeAggregator is the middle tier: a buffered parameter server for its
+	// cohort and a client of its upstream. Build with NewEdgeAggregator,
+	// Start it (or let Serve do it), and point cohort clients at Handler().
+	// Shutdown via context cancellation drains: buffered cohort work is
+	// pushed upstream before Serve returns.
+	EdgeAggregator = fldist.Edge
+	// EdgeAggregatorOption configures NewEdgeAggregator.
+	EdgeAggregatorOption = fldist.EdgeOption
+	// TenantRegistry mounts several named aggregators — edges, roots — behind
+	// one listener, each under its own path prefix.
+	TenantRegistry = fldist.Registry
+)
+
+// WithEdgeTier names the edge's cohort; the name appears in the /stats
+// upstream section and is the tenant name a TenantRegistry mounts the edge
+// under.
+func WithEdgeTier(name string) EdgeAggregatorOption { return fldist.WithEdgeName(name) }
+
+// WithEdgeFlush sets the flush policy: the edge pushes its combined cohort
+// delta upstream once k updates have buffered, or once the oldest buffered
+// update is age old — whichever comes first. age 0 disables the age
+// trigger. Defaults: k 8, age 500ms.
+func WithEdgeFlush(k int, age time.Duration) EdgeAggregatorOption {
+	return fldist.WithEdgeFlush(k, age)
+}
+
+// WithEdgeStalenessWindow sets the staleness window (in the edge's local
+// commit rounds) for cohort admissions, exactly as WithBufferedAggregation's
+// maxStaleness does for a root. Default 8.
+func WithEdgeStalenessWindow(maxStaleness int) EdgeAggregatorOption {
+	return fldist.WithEdgeWindow(maxStaleness)
+}
+
+// WithEdgeShards sets the edge's parameter shard count (see
+// WithServerShards); the pre-fold is bit-identical at any count.
+func WithEdgeShards(n int) EdgeAggregatorOption { return fldist.WithEdgeShards(n) }
+
+// WithEdgeUpstreamID fixes the client ID the edge pushes upstream under.
+// Every edge and direct client sharing an upstream needs a distinct ID; by
+// default edges draw sequential IDs from 1<<20 up.
+func WithEdgeUpstreamID(id int) EdgeAggregatorOption { return fldist.WithEdgeClientID(id) }
+
+// NewEdgeAggregator builds an edge for the given upstream base URL (a root
+// ParamServer or another edge). Like NewParamServer it panics on
+// nonsensical configuration; the first upstream pull happens in Start.
+func NewEdgeAggregator(upstream string, opts ...EdgeAggregatorOption) *EdgeAggregator {
+	return fldist.NewEdge(upstream, opts...)
+}
+
+// NewTenantRegistry creates an empty multi-tenant registry.
+func NewTenantRegistry() *TenantRegistry { return fldist.NewRegistry() }

@@ -1,0 +1,95 @@
+package fedprophet
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"fedprophet/internal/fldist"
+)
+
+// The public hierarchical surface end-to-end: a root ParamServer, an
+// EdgeAggregator in front of it mounted in a TenantRegistry, and a cohort
+// client pushing through the tenant path. The cohort's update must reach
+// the root as one combined tier push.
+func TestEdgeAggregatorPublicSurface(t *testing.T) {
+	init := make([]float64, 64)
+	for i := range init {
+		init[i] = float64(i) / 128
+	}
+	root := NewParamServer(init, nil, 1, WithServerShards(2))
+	rts := httptest.NewServer(root.Handler())
+	defer rts.Close()
+
+	edge := NewEdgeAggregator(rts.URL,
+		WithEdgeTier("plant-7"),
+		WithEdgeFlush(2, 0),
+		WithEdgeStalenessWindow(4),
+		WithEdgeShards(2),
+		WithEdgeUpstreamID(4096))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := edge.Start(ctx); err != nil {
+		t.Fatalf("edge start: %v", err)
+	}
+	reg := NewTenantRegistry()
+	if err := reg.Add("plant-7", edge.Handler()); err != nil {
+		t.Fatal(err)
+	}
+	ets := httptest.NewServer(reg.Handler())
+	defer ets.Close()
+
+	for id := 0; id < 2; id++ {
+		params := make([]float64, len(init))
+		for i := range params {
+			params[i] = init[i] + float64(id+1)/256
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(fldist.Update{
+			ClientID: id, Round: 0, Weight: 1, Params: params,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ets.URL+"/plant-7/update", "application/octet-stream",
+			bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cohort push via tenant path: status %d", resp.StatusCode)
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for root.Round() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("tier push never reached the root")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	gotP, _ := root.Snapshot()
+	for i := range gotP {
+		// Both cohort deltas are powers of two on top of a small dyadic
+		// base, so the tiered average is exact: init + (1/256 + 2/256)/2.
+		want := init[i] + 3.0/512
+		if gotP[i] != want {
+			t.Fatalf("root params[%d] = %v, want %v", i, gotP[i], want)
+		}
+	}
+	// The root commits before the edge's push response returns, so the push
+	// counter can trail the committed round briefly.
+	for edge.Stats().Upstream.Pushes != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("edge upstream stats: %+v", edge.Stats().Upstream)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if up := edge.Stats().Upstream; up.Cohort != "plant-7" || up.FlushK != 1 {
+		t.Fatalf("edge upstream stats: %+v", up)
+	}
+}
