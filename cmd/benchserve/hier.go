@@ -81,7 +81,7 @@ func runHierPhase(nEdges, totalClients int, d time.Duration,
 	} else {
 		for i := 0; i < nEdges; i++ {
 			e := fldist.NewEdge(rootURL,
-				fldist.WithEdgeClientID(1<<20+i),
+				fldist.WithEdgeClientID(1<<20+i*fldist.EdgeIDSpan),
 				fldist.WithEdgeFlush(fanIn, 0),
 				fldist.WithEdgeWindow(8),
 				fldist.WithEdgeShards(shards))
@@ -272,7 +272,7 @@ func runSmokeEdge() {
 	defer cancel()
 	for i := 0; i < nEdges; i++ {
 		e := fldist.NewEdge(rootURL,
-			fldist.WithEdgeClientID(1<<20+i),
+			fldist.WithEdgeClientID(1<<20+i*fldist.EdgeIDSpan),
 			fldist.WithEdgeFlush(fanIn, 0))
 		if err := e.Start(ctx); err != nil {
 			log.Fatalf("benchserve: smoke-edge edge %d: %v", i, err)

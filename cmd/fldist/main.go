@@ -46,6 +46,13 @@
 // one edge per cohort behind a multi-tenant registry (clients use
 // http://edge:8081/<name>). SIGTERM drains: buffered cohort work is pushed
 // upstream before the process exits.
+//
+// Each edge pushes upstream under a block of client IDs (-edge-id is the
+// first block's base; successive cohorts take the following blocks). Edge
+// processes sharing one upstream MUST use disjoint ID blocks — a collision
+// makes the upstream's per-(round, client) dedup silently swallow another
+// edge's flush — so the default is randomized per process; pass -edge-id
+// explicitly for reproducible runs.
 package main
 
 import (
@@ -91,6 +98,7 @@ func main() {
 		cohort   = flag.String("cohort", "", "edge mode: cohort name(s), comma-separated; >1 mounts a multi-tenant registry")
 		flushK   = flag.Int("flush", 8, "edge mode: push upstream once this many cohort updates buffered")
 		flushAge = flag.Duration("flush-age", 500*time.Millisecond, "edge mode: push upstream once the oldest buffered update is this old (0 = depth/drain only)")
+		edgeID   = flag.Int("edge-id", 0, "edge mode: base of this process's upstream client ID blocks, one block of fldist.EdgeIDSpan IDs per cohort; must be disjoint across edge processes sharing an upstream (0 = randomize)")
 	)
 	flag.Parse()
 
@@ -119,17 +127,28 @@ func main() {
 		if *cohort == "" {
 			names = []string{""}
 		}
-		mkEdge := func(name string) *fldist.Edge {
+		idBase := *edgeID
+		if idBase == 0 {
+			// Randomized per process (off the auto-seeded global RNG, not
+			// the deterministic -seed one): two standalone edge processes
+			// sharing an upstream must not draw the same ID block, or the
+			// upstream's per-(round, client) dedup would silently swallow
+			// one edge's flushes. Span-aligned, clear of hand-assigned
+			// client IDs.
+			idBase = 1<<20 + fldist.EdgeIDSpan*(1+rand.Intn(1<<24))
+		}
+		mkEdge := func(name string, i int) *fldist.Edge {
 			return fldist.NewEdge(*upstream,
 				fldist.WithEdgeName(name),
+				fldist.WithEdgeClientID(idBase+i*fldist.EdgeIDSpan),
 				fldist.WithEdgeFlush(*flushK, *flushAge),
 				fldist.WithEdgeWindow(*stale),
 				fldist.WithEdgeShards(*shards))
 		}
 		if len(names) == 1 {
-			e := mkEdge(names[0])
-			log.Printf("edge aggregator on %s → %s (cohort %q, flush K=%d age=%s, window ≤%d)",
-				*addr, *upstream, names[0], *flushK, *flushAge, *stale)
+			e := mkEdge(names[0], 0)
+			log.Printf("edge aggregator on %s → %s (cohort %q, upstream IDs [%d,%d), flush K=%d age=%s, window ≤%d)",
+				*addr, *upstream, names[0], e.ClientID(), e.ClientID()+fldist.EdgeIDSpan, *flushK, *flushAge, *stale)
 			// Serve drains on SIGTERM: buffered cohort work is pushed
 			// upstream before we exit.
 			if err := e.ListenAndServe(ctx, *addr); err != nil {
@@ -142,8 +161,8 @@ func main() {
 		// drained on shutdown.
 		reg := fldist.NewRegistry()
 		edges := make([]*fldist.Edge, 0, len(names))
-		for _, name := range names {
-			e := mkEdge(name)
+		for i, name := range names {
+			e := mkEdge(name, i)
 			if err := e.Start(ctx); err != nil {
 				log.Fatal(err)
 			}
@@ -152,8 +171,8 @@ func main() {
 			}
 			edges = append(edges, e)
 		}
-		log.Printf("edge registry on %s → %s (cohorts %v, flush K=%d age=%s)",
-			*addr, *upstream, reg.Names(), *flushK, *flushAge)
+		log.Printf("edge registry on %s → %s (cohorts %v, upstream IDs from %d, flush K=%d age=%s)",
+			*addr, *upstream, reg.Names(), idBase, *flushK, *flushAge)
 		hs := &http.Server{Addr: *addr, Handler: reg.Handler()}
 		go func() {
 			<-ctx.Done()

@@ -70,11 +70,15 @@ func WithEdgeName(name string) EdgeOption {
 	return func(c *edgeConfig) { c.name = name }
 }
 
-// WithEdgeClientID fixes the client ID the edge pushes upstream under. Every
-// edge (and direct client) sharing an upstream needs a distinct ID — the
-// upstream's per-(round, client) dedup would silently drop a second edge's
-// flush otherwise. By default edges draw sequential IDs from 1<<20 up, clear
-// of small hand-assigned client IDs.
+// WithEdgeClientID fixes the base of the EdgeIDSpan-sized block of client
+// IDs the edge pushes upstream under (see EdgeIDSpan). Every edge (and
+// direct client) sharing an upstream needs a disjoint block — the upstream's
+// per-(round, client) dedup would silently drop a colliding edge's flush
+// otherwise. By default edges draw EdgeIDSpan-strided blocks from 1<<20 up,
+// clear of small hand-assigned client IDs — but only within one process;
+// separate edge processes sharing an upstream must be given explicit
+// disjoint blocks (cmd/fldist -edge-id randomizes its default for this
+// reason).
 func WithEdgeClientID(id int) EdgeOption {
 	return func(c *edgeConfig) { c.clientID = id }
 }
@@ -106,8 +110,20 @@ func WithEdgeHTTPClient(hc *http.Client) EdgeOption {
 	return func(c *edgeConfig) { c.hc = hc }
 }
 
-// edgeAutoID hands out default upstream client IDs, starting high so they
-// never collide with hand-assigned fleet client IDs.
+// EdgeIDSpan is the block of upstream client IDs each edge owns: an edge
+// configured with client ID id pushes under IDs in [id, id+EdgeIDSpan).
+// Successive committed batches cycle through the block, so two *different*
+// batches pushed from the same upstream base round never share the
+// upstream's per-(round, client) dedup key — without this, the second of two
+// drain pushes from one adopted base (or the first flush after an
+// interrupted resync) would be answered with a duplicate-200 and a whole
+// cohort batch silently discarded. Retries of the *same* batch keep their
+// ID, so upstream dedup still makes interrupted pushes idempotent. Anything
+// assigning edge IDs by hand must space them by at least this span.
+const EdgeIDSpan = 64
+
+// edgeAutoID hands out default upstream client ID blocks, EdgeIDSpan apart,
+// starting high so they never collide with hand-assigned fleet client IDs.
 var edgeAutoID atomic.Int64
 
 func init() { edgeAutoID.Store(1 << 20) }
@@ -115,10 +131,14 @@ func init() { edgeAutoID.Store(1 << 20) }
 // unpushedBatch is a committed cohort batch whose upstream push has not
 // succeeded yet (the flush was interrupted by context cancellation). Drain
 // completes it before committing anything further — one inner commit per
-// upstream push is the exactness invariant.
+// upstream push is the exactness invariant. pushID is the batch's dedup
+// identity within the edge's EdgeIDSpan block, fixed at commit time so
+// retries and rebases of this batch stay idempotent upstream while the next
+// batch pushes under a fresh key.
 type unpushedBatch struct {
-	snap  *snapshot
-	batch commitInfo
+	snap   *snapshot
+	batch  commitInfo
+	pushID int
 }
 
 // Edge is an edge aggregator: a buffered parameter server for its cohort and
@@ -158,6 +178,9 @@ type Edge struct {
 	lastPushedB []float64
 	cleanBase   bool
 	unpushed    *unpushedBatch
+	// pushSeq counts committed batches; each batch's upstream dedup identity
+	// is clientID + pushSeq%EdgeIDSpan (see EdgeIDSpan).
+	pushSeq int
 
 	// baseRoundA mirrors baseRound for the lock-free Stats read.
 	baseRoundA atomic.Int64
@@ -186,7 +209,7 @@ func NewEdge(upstream string, opts ...EdgeOption) *Edge {
 		panic("fldist: edge needs an upstream URL")
 	}
 	cfg := edgeConfig{
-		clientID: int(edgeAutoID.Add(1) - 1),
+		clientID: int(edgeAutoID.Add(EdgeIDSpan) - EdgeIDSpan),
 		flushK:   8,
 		flushAge: 500 * time.Millisecond,
 		window:   8,
@@ -240,6 +263,12 @@ func (e *Edge) Start(ctx context.Context) error {
 		WithShards(e.shards), WithBufferedAggregation(e.flushK, e.window))
 	inner.manual = true
 	inner.flushSignal = make(chan struct{}, 1)
+	// Bound the cohort buffer: in manual mode nothing on the admission path
+	// drains it, so while the flusher is wedged (an upstream outage's retry
+	// loop, a stalled resync) admissions would otherwise retain model-sized
+	// buffers without limit. Beyond a few flushes' worth, cohort pushes get
+	// the retryable buffer-full verdict until the flusher catches up.
+	inner.manualCap = 4 * e.flushK
 	e.inner = inner
 	e.innerHandler = inner.Handler()
 	e.setBase(blob)
@@ -328,6 +357,29 @@ func (e *Edge) flusher(ctx context.Context) {
 		}
 	}
 	defer stopAge()
+	// armAge points the age trigger at the *admission time* of the oldest
+	// buffered update (recorded by the admission path, not by this
+	// goroutine), reporting true when that deadline has already passed — so
+	// an update that sat buffered while the flusher was inside a long flush
+	// (upstream retries) is pushed the moment the flusher frees up, instead
+	// of waiting a whole fresh flushAge. No-op when the trigger is disabled,
+	// already armed, or the buffer is empty.
+	armAge := func() (due bool) {
+		if e.flushAge <= 0 || ageC != nil {
+			return false
+		}
+		oldest := e.inner.oldestAdmit.Load()
+		if oldest == 0 {
+			return false
+		}
+		remaining := e.flushAge - time.Since(time.Unix(0, oldest))
+		if remaining <= 0 {
+			return true
+		}
+		ageTimer = time.NewTimer(remaining)
+		ageC = ageTimer.C
+		return false
+	}
 	for {
 		select {
 		case <-ctx.Done():
@@ -336,16 +388,19 @@ func (e *Edge) flusher(ctx context.Context) {
 			if int(e.inner.bufferedNow.Load()) >= e.flushK {
 				e.flush(ctx, &e.flushByK)
 				stopAge()
-			} else if ageC == nil && e.flushAge > 0 {
-				// First update of a fresh buffer: arm the age trigger so a
-				// trickle of fewer than K updates still reaches the root.
-				ageTimer = time.NewTimer(e.flushAge)
-				ageC = ageTimer.C
+			} else if armAge() {
+				e.flush(ctx, &e.flushByAge)
 			}
 		case <-ageC:
 			ageTimer = nil
 			ageC = nil
-			if e.inner.bufferedNow.Load() > 0 {
+			if e.inner.bufferedNow.Load() == 0 {
+				continue
+			}
+			// The buffer the timer was armed for may have flushed and
+			// refilled since; re-arm against the current oldest admission if
+			// its deadline is still in the future.
+			if armAge() {
 				e.flush(ctx, &e.flushByAge)
 			}
 		}
@@ -363,11 +418,23 @@ func (e *Edge) flush(ctx context.Context, reason *atomic.Int64) {
 			return
 		}
 		reason.Add(1)
-		e.unpushed = &unpushedBatch{snap: e.inner.model.Load(), batch: batch}
+		e.unpushed = &unpushedBatch{snap: e.inner.model.Load(), batch: batch, pushID: e.nextPushIDLocked()}
 	}
 	if err := e.pushBatchLocked(ctx, true); err != nil {
 		return // ctx canceled; e.unpushed survives for Drain
 	}
+}
+
+// nextPushIDLocked draws the upstream dedup identity for a freshly committed
+// batch: the edge's client ID plus a per-batch offset cycling through the
+// edge's EdgeIDSpan-sized ID block. Distinct batches pushed from the same
+// base round (drain's second push; a flush after an interrupted resync) thus
+// never collide in the upstream's per-(round, client) dedup, while retries
+// of one batch reuse its identity and stay idempotent. Caller holds flushMu.
+func (e *Edge) nextPushIDLocked() int {
+	id := e.clientID + e.pushSeq%EdgeIDSpan
+	e.pushSeq++
+	return id
 }
 
 // Drain flushes everything still buffered upstream: first any batch whose
@@ -392,7 +459,7 @@ func (e *Edge) Drain(ctx context.Context) error {
 		return nil
 	}
 	e.flushByDrain.Add(1)
-	e.unpushed = &unpushedBatch{snap: e.inner.model.Load(), batch: batch}
+	e.unpushed = &unpushedBatch{snap: e.inner.model.Load(), batch: batch, pushID: e.nextPushIDLocked()}
 	if err := e.pushBatchLocked(ctx, false); err != nil {
 		return fmt.Errorf("fldist: edge drain: %w", err)
 	}
@@ -427,7 +494,7 @@ func (e *Edge) pushBatchLocked(ctx context.Context, resync bool) error {
 			return ctx.Err()
 		}
 		err := e.pushUpstream(ctx, Update{
-			ClientID: e.clientID,
+			ClientID: e.unpushed.pushID,
 			Round:    baseRound,
 			Weight:   weight,
 			Params:   params,

@@ -193,7 +193,7 @@ func TestTwoTierCommitBitIdenticalToFlatFleet(t *testing.T) {
 			var edges []*Edge
 			for i, cohort := range tc.cohorts {
 				e, edgeURL := startEdge(t, ts.URL,
-					WithEdgeClientID(1000+i),
+					WithEdgeClientID(1000+i*EdgeIDSpan),
 					WithEdgeFlush(len(cohort), 0),
 					WithEdgeShards(tc.shards))
 				edges = append(edges, e)
@@ -261,7 +261,7 @@ func TestTwoTierMultiFlushBitIdenticalToFlat(t *testing.T) {
 	ts := httptest.NewServer(root.Handler())
 	defer ts.Close()
 	eA, urlA := startEdge(t, ts.URL, WithEdgeClientID(1000), WithEdgeFlush(2, 0))
-	eB, urlB := startEdge(t, ts.URL, WithEdgeClientID(1001), WithEdgeFlush(2, 0))
+	eB, urlB := startEdge(t, ts.URL, WithEdgeClientID(1000+EdgeIDSpan), WithEdgeFlush(2, 0))
 
 	cohortRun(t, ts.Client(), urlA, []int{0, 1})
 	cohortRun(t, ts.Client(), urlB, []int{4, 5})
@@ -311,7 +311,7 @@ func TestTwoTierFullPrecisionDeterminism(t *testing.T) {
 		ts := httptest.NewServer(root.Handler())
 		defer ts.Close()
 		_, urlA := startEdge(t, ts.URL, WithEdgeClientID(1000), WithEdgeFlush(4, 0), WithEdgeShards(shards))
-		_, urlB := startEdge(t, ts.URL, WithEdgeClientID(1001), WithEdgeFlush(4, 0), WithEdgeShards(shards))
+		_, urlB := startEdge(t, ts.URL, WithEdgeClientID(1000+EdgeIDSpan), WithEdgeFlush(4, 0), WithEdgeShards(shards))
 		for _, id := range order {
 			url := urlA
 			if id >= 4 {
@@ -572,7 +572,7 @@ func TestEdgeStalePushLandsWithCombinedStaleness(t *testing.T) {
 	defer ts.Close()
 
 	eA, urlA := startEdge(t, ts.URL, WithEdgeClientID(1000), WithEdgeFlush(1, 0))
-	eB, urlB := startEdge(t, ts.URL, WithEdgeClientID(1001), WithEdgeFlush(1, 0))
+	eB, urlB := startEdge(t, ts.URL, WithEdgeClientID(1000+EdgeIDSpan), WithEdgeFlush(1, 0))
 
 	// Two direct clients commit root round 1 while both edges still hold
 	// round-0 bases.
@@ -667,5 +667,170 @@ func TestEdgeStatsEndpoint(t *testing.T) {
 	}
 	if st.Upstream.Buffered != 1 || st.Upstream.CohortPulls != 1 {
 		t.Fatalf("upstream section = %+v", st.Upstream)
+	}
+}
+
+// Two drain pushes from one adopted base land as two distinct admissions at
+// a buffered upstream: each committed batch pushes under its own identity
+// inside the edge's EdgeIDSpan ID block, so the upstream's per-(round,
+// client) dedup — which would answer a reused identity with a duplicate-200
+// the edge cannot tell from success — never swallows the rebased second
+// batch. (A synchronous root masks this case by advancing its round between
+// the pushes; a buffered root sitting below its commit threshold does not.)
+func TestEdgeDrainTwiceFromOneBaseNotDeduped(t *testing.T) {
+	const nParams, nBN = 65, 3
+	init := gridVec(nParams, 17)
+	initBN := gridVec(nBN, 18)
+	// Buffered root, K=2: the first drain push buffers without committing,
+	// so the second drain pushes from the very same base round.
+	root := NewServer(init, initBN, 1, WithBufferedAggregation(2, 4))
+	ts := httptest.NewServer(root.Handler())
+	defer ts.Close()
+
+	e, edgeURL := startEdge(t, ts.URL, WithEdgeClientID(1000), WithEdgeFlush(100, 0))
+	ctx := context.Background()
+
+	cohortRun(t, ts.Client(), edgeURL, []int{0})
+	if err := e.Drain(ctx); err != nil {
+		t.Fatalf("first drain: %v", err)
+	}
+	if root.Round() != 0 {
+		t.Fatalf("root committed after one buffered admission: round %d", root.Round())
+	}
+	cohortRun(t, ts.Client(), edgeURL, []int{1})
+	if err := e.Drain(ctx); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+
+	// The second batch fills the root's K=2 buffer: both drain batches were
+	// admitted (no dedup drop), and the committed model carries both deltas.
+	if root.Round() != 1 {
+		t.Fatalf("root round = %d after two drains, want 1 (second drain batch dedup-dropped?)", root.Round())
+	}
+	if n := root.DuplicatesDropped(); n != 0 {
+		t.Fatalf("root dedup swallowed a drain batch: %d duplicates dropped", n)
+	}
+	gotP, gotBN := root.Snapshot()
+	sumP := addVecs(gridDelta(nParams, 0), gridDelta(nParams, 1))
+	for i := range gotP {
+		if want := init[i] + sumP[i]/2; gotP[i] != want {
+			t.Fatalf("params[%d] = %v, want %v (a drain batch was lost)", i, gotP[i], want)
+		}
+	}
+	sumBN := addVecs(gridDelta(nBN, 0), gridDelta(nBN, 1))
+	for i := range gotBN {
+		if want := initBN[i] + sumBN[i]/2; gotBN[i] != want {
+			t.Fatalf("bn[%d] = %v, want %v (a drain batch was lost)", i, gotBN[i], want)
+		}
+	}
+}
+
+// While the flusher is wedged against an unreachable upstream, cohort
+// admissions are capped at a small multiple of flush K instead of buffering
+// model-sized vectors without bound; beyond the cap the edge answers the
+// retryable buffer-full 409 (retry header set, staleness counter uncharged)
+// until the flusher catches up.
+func TestEdgeAdmissionCappedWhileUpstreamDown(t *testing.T) {
+	const nParams, nBN = 33, 2
+	init := gridVec(nParams, 19)
+	initBN := gridVec(nBN, 20)
+	root := NewServer(init, initBN, 1)
+	inner := root.Handler()
+	var up atomic.Bool
+	up.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !up.Load() {
+			http.Error(w, "upstream down", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	e, edgeURL := startEdge(t, ts.URL, WithEdgeClientID(1000), WithEdgeFlush(2, 0))
+	up.Store(false)
+	// Two updates trip the K=2 flush: the batch commits locally and the
+	// flusher wedges in the upstream retry loop.
+	cohortRun(t, ts.Client(), edgeURL, []int{0, 1})
+	awaitFn(t, "flusher wedged in retries", func() bool { return e.Stats().Upstream.Retries >= 1 })
+
+	// The wedged flusher never drains the buffer, so admissions stop at the
+	// manual-mode cap of 4*K = 8.
+	round, base, baseBN := pullRawT(t, ts.Client(), edgeURL)
+	for id := 2; id < 10; id++ {
+		params := addVecs(base, gridDelta(nParams, id))
+		bn := addVecs(baseBN, gridDelta(nBN, id))
+		if st := pushRawT(t, ts.Client(), edgeURL, id, round, 1, params, bn); st != http.StatusOK {
+			t.Fatalf("cohort client %d within the cap: status %d", id, st)
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(Update{
+		ClientID: 10, Round: round, Weight: 1,
+		Params: addVecs(base, gridDelta(nParams, 10)),
+		BN:     addVecs(baseBN, gridDelta(nBN, 10)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(edgeURL+"/update", contentTypeGob, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || resp.Header.Get(retryHeader) == "" {
+		t.Fatalf("push beyond the cap: status %d, retry header %q; want retryable 409",
+			resp.StatusCode, resp.Header.Get(retryHeader))
+	}
+	if got := e.inner.bufferedNow.Load(); got != 8 {
+		t.Fatalf("buffer depth = %d at the cap, want 8", got)
+	}
+	if sr := e.Stats().Buffered.StaleRejected; sr != 0 {
+		t.Fatalf("buffer-full rejection charged the staleness counter: %d", sr)
+	}
+
+	// Recovery: the wedged flush lands, the flusher drains, and the capped
+	// client's retry is admissible again.
+	up.Store(true)
+	awaitFn(t, "flusher catching up after recovery", func() bool { return e.inner.bufferedNow.Load() == 0 })
+}
+
+// The age deadline runs from admission, not from when the flusher first
+// looks at the buffer: an update admitted while the flusher was wedged in a
+// long flush is pushed as soon as the flusher frees up once its age is
+// already spent, instead of waiting a whole fresh flushAge from that point.
+func TestEdgeAgeDeadlineRunsFromAdmission(t *testing.T) {
+	const nParams = 33
+	const flushAge = 800 * time.Millisecond
+	init := gridVec(nParams, 21)
+	root := NewServer(init, nil, 1)
+	inner := root.Handler()
+	var up atomic.Bool
+	up.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !up.Load() {
+			http.Error(w, "upstream down", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	e, edgeURL := startEdge(t, ts.URL, WithEdgeClientID(1000), WithEdgeFlush(2, flushAge))
+	up.Store(false)
+	cohortRun(t, ts.Client(), edgeURL, []int{0, 1}) // K-flush wedges against the dead upstream
+	awaitFn(t, "flusher wedged in retries", func() bool { return e.Stats().Upstream.Retries >= 1 })
+	cohortRun(t, ts.Client(), edgeURL, []int{2}) // admitted mid-wedge; its age clock starts now
+	time.Sleep(flushAge + 200*time.Millisecond)  // let it age past flushAge while the flusher is stuck
+
+	up.Store(true)
+	awaitFn(t, "wedged flush landing", func() bool { return root.Round() >= 1 })
+	t0 := time.Now()
+	awaitFn(t, "age flush of the already-aged update", func() bool { return root.Round() >= 2 })
+	if d := time.Since(t0); d > flushAge/2 {
+		t.Fatalf("age flush took %v after the flusher freed up; the update's %v deadline had already passed at admission+%v",
+			d, flushAge, flushAge)
+	}
+	if upSt := e.Stats().Upstream; upSt.FlushAge != 1 || upSt.FlushK != 1 {
+		t.Fatalf("upstream stats: %+v, want one K flush and one age flush", upSt)
 	}
 }

@@ -121,6 +121,13 @@ type Server struct {
 	// serving and never change.
 	manual      bool
 	flushSignal chan struct{}
+	// manualCap bounds pendingN in manual mode, where nothing on the
+	// admission path ever drains the buffer: with the tier's flusher wedged
+	// (an upstream outage, a stalled resync), admissions would otherwise
+	// retain model-sized update buffers without limit. At the cap, admission
+	// answers the retryable buffer-full verdict until the flusher catches
+	// up. Set alongside manual, before serving starts.
+	manualCap int
 
 	// model is the current immutable global state; round advance installs a
 	// fresh snapshot. The swap happens under pendMu (and, for the serving
@@ -186,6 +193,13 @@ type Server struct {
 	// bufferedNow mirrors pendingN as an atomic so tier flush policy and
 	// /stats can read the live buffer depth without taking pendMu.
 	bufferedNow atomic.Int64
+
+	// oldestAdmit is the admission time (UnixNano) of the oldest update in
+	// the current buffer, 0 while it is empty. Recorded at admission so a
+	// tier's age-based flush deadline runs from when the update actually
+	// buffered, not from when the flusher first looked at the buffer.
+	// Written under pendMu, read lock-free by the flusher.
+	oldestAdmit atomic.Int64
 
 	// stalenessHist (buffered mode) counts admitted updates per observed
 	// staleness 0..maxStale. Atomics, so /stats never contends with
@@ -750,6 +764,7 @@ const (
 	regDuplicate
 	regStale
 	regQuorumFull // quorum filled, fold in flight: stale once the round advances
+	regBufferFull // manual mode: admission cap reached, flusher behind — retryable, nothing to wait out
 )
 
 // register runs the small global critical section of the push path: the
@@ -863,8 +878,17 @@ func (s *Server) registerAsync(clientID, baseRound int, weight float64, buf *upd
 		// server this is not a terminal verdict — the update may still be
 		// inside the next round's staleness window, so the caller waits out
 		// the commit and re-registers. Manual mode never fills-and-folds on
-		// the admission path, so the bufferK threshold does not gate it.
+		// the admission path, so the bufferK threshold does not gate it —
+		// manualCap below does, so a wedged flusher cannot let admissions
+		// buffer without bound.
 		return regQuorumFull, snap.round
+	}
+	if s.manual && s.manualCap > 0 && s.pendingN >= s.manualCap {
+		// Only the flusher drains a manual-mode buffer, and it is behind —
+		// wedged against an unreachable upstream, or mid-resync. No commit
+		// is in flight to wait out, so the caller answers the retryable
+		// verdict immediately instead of spinning.
+		return regBufferFull, snap.round
 	}
 	set := s.admitted[baseRound]
 	if set == nil {
@@ -873,6 +897,9 @@ func (s *Server) registerAsync(clientID, baseRound int, weight float64, buf *upd
 	}
 	set[clientID] = true
 	s.pendingN++
+	if s.pendingN == 1 {
+		s.oldestAdmit.Store(time.Now().UnixNano())
+	}
 	if pooled {
 		s.pendingBufs = append(s.pendingBufs, buf)
 	}
@@ -926,6 +953,17 @@ func (s *Server) finishUpdateAsync(w http.ResponseWriter, clientID, baseRound in
 				s.bufPool.Put(buf)
 			}
 			s.rejectStale(w, baseRound)
+			return
+		case regBufferFull:
+			// Not a staleness verdict (staleRejected stays uncharged): the
+			// buffer is full because the tier's flusher is behind. The retry
+			// header tells the client to re-push the same body later instead
+			// of discarding the training pass.
+			if pooled {
+				s.bufPool.Put(buf)
+			}
+			w.Header().Set(retryHeader, "1")
+			http.Error(w, "update buffer full, retry", http.StatusConflict)
 			return
 		case regDuplicate:
 			if pooled {
@@ -1038,6 +1076,7 @@ func (s *Server) resetPendingLocked() {
 	s.pendingW = 0
 	s.committing = false
 	s.bufferedNow.Store(0)
+	s.oldestAdmit.Store(0)
 	for i, b := range s.pendingBufs {
 		s.bufPool.Put(b)
 		s.pendingBufs[i] = nil

@@ -53,9 +53,17 @@ func WithEdgeStalenessWindow(maxStaleness int) EdgeAggregatorOption {
 // WithServerShards); the pre-fold is bit-identical at any count.
 func WithEdgeShards(n int) EdgeAggregatorOption { return fldist.WithEdgeShards(n) }
 
-// WithEdgeUpstreamID fixes the client ID the edge pushes upstream under.
-// Every edge and direct client sharing an upstream needs a distinct ID; by
-// default edges draw sequential IDs from 1<<20 up.
+// EdgeIDSpan is the block of upstream client IDs each edge owns: an edge
+// whose upstream ID is id pushes its committed batches under IDs in
+// [id, id+EdgeIDSpan), cycling per batch so two batches pushed from one
+// base round never collide in the upstream's per-(round, client) dedup.
+const EdgeIDSpan = fldist.EdgeIDSpan
+
+// WithEdgeUpstreamID fixes the base of the EdgeIDSpan-sized client ID block
+// the edge pushes upstream under. Every edge and direct client sharing an
+// upstream needs a disjoint block; by default edges draw EdgeIDSpan-strided
+// blocks from 1<<20 up — within one process only, so multi-process
+// deployments must assign explicit disjoint blocks.
 func WithEdgeUpstreamID(id int) EdgeAggregatorOption { return fldist.WithEdgeClientID(id) }
 
 // NewEdgeAggregator builds an edge for the given upstream base URL (a root
