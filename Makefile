@@ -11,17 +11,21 @@
 #                         (updates/sec + push latency + allocs/op, single-mutex
 #                         vs sharded, at N=4/16/64 concurrent clients, plus the
 #                         straggler phases: sync quorum vs buffered async with
-#                         one 4x-slow client, recording wasted training passes;
+#                         one 4x-slow client, recording wasted training passes,
+#                         plus the pull-heavy phase: 256 concurrent pullers of
+#                         a ~1M-parameter model under cache churn;
 #                         pinned to GOMAXPROCS=4 so the concurrency plane is
 #                         exercised even on smaller CI hosts)
 #   make smoke-edge     - 2-tier hierarchical topology check: edge-aggregated
 #                         vs flat fleet, bit-identical final models (in ci)
+#   make smoke-pull     - ~2s serve-path check: high-fan-out pull phase under
+#                         cache churn against both servers (in ci)
 #   make check-docs     - fail on dead relative links in README/docs
 #   make cover   - tests with coverage summary
 
 GO ?= go
 
-.PHONY: all build vet test test-race check-docs smoke-serve smoke-edge ci bench bench-parallel bench-conv bench-json bench-wire bench-serve cover clean
+.PHONY: all build vet test test-race check-docs smoke-serve smoke-edge smoke-pull ci bench bench-parallel bench-conv bench-json bench-wire bench-serve cover clean
 
 all: ci
 
@@ -59,7 +63,15 @@ smoke-serve:
 smoke-edge:
 	GOMAXPROCS=4 $(GO) run ./cmd/benchserve -smoke-edge
 
-ci: build vet test test-race check-docs smoke-serve smoke-edge
+# A ~2-second pull-fan-out check: 64 concurrent pullers over mixed codec
+# variants against both server implementations while rounds advance and the
+# served cache churns — asserts the serve path survives fan-out (every
+# puller completes, bytes flow), with no throughput assertion (CI machines
+# are not benchmarking machines).
+smoke-pull:
+	GOMAXPROCS=4 $(GO) run ./cmd/benchserve -smoke-pull
+
+ci: build vet test test-race check-docs smoke-serve smoke-edge smoke-pull
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .

@@ -108,26 +108,35 @@ type report struct {
 	Straggler      []stragglerResult `json:"straggler,omitempty"`
 	AsyncSpeedup   float64           `json:"async_speedup_vs_sync,omitempty"`
 	Hierarchical   []hierResult      `json:"hierarchical,omitempty"`
+	Pull           []pullResult      `json:"pull,omitempty"`
+	PullSpeedup    float64           `json:"pull_speedup_vs_baseline,omitempty"`
 }
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_serve.json", "output JSON path (empty = don't write)")
-		nParams  = flag.Int("params", 50000, "synthetic model size (float64 values)")
-		bits     = flag.Int("bits", 8, "delta quantization bit width")
-		chunk    = flag.Int("chunk", 256, "values per quantization scale")
-		clients  = flag.String("clients", "4,16,64", "comma-separated concurrent client counts")
-		duration = flag.Duration("duration", 3*time.Second, "wall-clock per phase")
-		shards   = flag.Int("shards", 0, "shard count for the sharded server (0 = server default)")
-		seed     = flag.Int64("seed", 1, "synthetic model seed")
+		out       = flag.String("out", "BENCH_serve.json", "output JSON path (empty = don't write)")
+		nParams   = flag.Int("params", 50000, "synthetic model size (float64 values)")
+		bits      = flag.Int("bits", 8, "delta quantization bit width")
+		chunk     = flag.Int("chunk", 256, "values per quantization scale")
+		clients   = flag.String("clients", "4,16,64", "comma-separated concurrent client counts")
+		duration  = flag.Duration("duration", 3*time.Second, "wall-clock per phase")
+		shards    = flag.Int("shards", 0, "shard count for the sharded server (0 = server default)")
+		seed      = flag.Int64("seed", 1, "synthetic model seed")
 		train     = flag.Duration("train", 20*time.Millisecond, "simulated local-training time per round in the straggler phases")
 		smoke     = flag.Bool("smoke", false, "CI smoke: N=8 only, short phases, no output file")
 		smokeEdge = flag.Bool("smoke-edge", false, "CI topology check: 2 edges × 4 clients vs 8 flat over real HTTP, bit-identical or fail")
+		smokePull = flag.Bool("smoke-pull", false, "CI serve-path check: ~2s high-fan-out pull phase under cache churn against both servers, no output file")
+		pullN     = flag.Int("pull-clients", 256, "concurrent pullers in the pull-heavy phase")
+		pullSize  = flag.Int("pull-params", 1<<20, "synthetic model size (float64 values) of the pull-heavy phase")
 		timestamp = flag.String("timestamp", "", "run timestamp recorded in the output metadata (e.g. `date -u +%Y-%m-%dT%H:%M:%SZ`)")
 	)
 	flag.Parse()
 	if *smokeEdge {
 		runSmokeEdge()
+		return
+	}
+	if *smokePull {
+		runSmokePull()
 		return
 	}
 	stragglerN := 16
@@ -227,6 +236,25 @@ func main() {
 	log.Printf("hierarchical N=%d: flat %d client pushes → %d root admissions | %d edges×%d %d client pushes → %d root admissions (%.1fx reduction)",
 		flatH.Clients, flatH.ClientPushes, flatH.RootAdmissions,
 		hierEdges, hierFanIn, tierH.ClientPushes, tierH.RootAdmissions, tierH.RootPushReduction)
+
+	// Pull-heavy phase: the serve plane under high read fan-out on a model
+	// big enough (default 1M params) for the O(model) serve work to be
+	// visible, with four codec variants live and a pusher fleet keeping
+	// aggregation (and so cache invalidation) running throughout. Scaled
+	// down (not skipped) under -smoke so the path stays exercised;
+	// -smoke-pull is the dedicated CI entry.
+	pn, ps, window := *pullN, *pullSize, 150*time.Millisecond
+	pullRounds := int(*duration / (window + 180*time.Millisecond))
+	if pullRounds < 6 {
+		pullRounds = 6
+	}
+	if *smoke {
+		pn, ps, pullRounds, window = 32, 100_000, 4, 50*time.Millisecond
+	}
+	rep.Pull = runPullBench(pn, ps, pullRounds, window, *seed, *shards)
+	if sp := rep.Pull[len(rep.Pull)-1].SpeedupVsBaseline; sp > 0 {
+		rep.PullSpeedup = sp
+	}
 
 	if *out == "" {
 		return

@@ -217,6 +217,8 @@ func main() {
 			st.UpdatesRaw, st.UpdatesCompressed)
 		log.Printf("admit latency: p50 %.0fµs p99 %.0fµs over %d shards",
 			st.AdmitP50Micros, st.AdmitP99Micros, st.Shards)
+		log.Printf("pull latency: p50 %.0fµs p99 %.0fµs, %d served-model builds",
+			st.PullP50Micros, st.PullP99Micros, st.ServedBuilds)
 
 	case *connect != "":
 		cfg := fl.DefaultConfig()

@@ -785,23 +785,7 @@ func (s *Server) adopt(params, bn []float64) int {
 		params: append([]float64(nil), params...),
 		bn:     append([]float64(nil), bn...),
 	}
-	for c, sm := range s.served {
-		s.downErr[c] = sm.nextErr
-	}
-	if len(s.downErr) > maxCodecVariants {
-		for c := range s.downErr {
-			if _, ok := s.served[c]; !ok {
-				delete(s.downErr, c)
-			}
-		}
-	}
-	s.history[old.round] = &roundState{snap: old, served: s.served}
-	for r := range s.history {
-		if r < next.round-s.maxStale {
-			delete(s.history, r)
-		}
-	}
-	s.served = map[Compression]*servedModel{}
+	s.retireRoundLocked(old, next.round)
 
 	s.pendMu.Lock()
 	s.model.Store(next)

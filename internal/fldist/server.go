@@ -53,6 +53,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -162,13 +163,43 @@ type Server struct {
 
 	// served caches, per (bits, chunk) requested this round, the encoded
 	// compressed model body and the dequantized base the clients actually
-	// received. Building an entry is a pure function of (snapshot, downErr,
-	// codec params), so a cache miss recomputes identical bytes. downErr is
-	// the downlink error-feedback residual per codec variant, committed from
-	// the served cache when the round advances (see advanceRound).
-	serveMu sync.Mutex
-	served  map[Compression]*servedModel
-	downErr map[Compression][]float64
+	// received, each behind a servedEntry: an atomic pointer read lock-free
+	// by pulls plus a per-variant single-flight latch held across the build.
+	// Building an entry is a pure function of (snapshot, downErr, codec
+	// params), so a cache miss recomputes identical bytes. serveMu guards
+	// only the variant-map bookkeeping (entry lookup/create, the variant
+	// cap, reading downErr, the generation counter) — it never spans
+	// O(model) work, so distinct variants build concurrently and a build
+	// never stalls an unrelated pull. downErr is the downlink error-feedback
+	// residual per codec variant, committed from the served cache when the
+	// round advances (see advanceRound). serveGen increments at every
+	// snapshot swap; a build publishes only if the generation it started
+	// under is still current, so a body built from a retired (snapshot,
+	// downErr) pair is discarded instead of served.
+	serveMu  sync.Mutex
+	served   map[Compression]*servedEntry
+	downErr  map[Compression][]float64
+	serveGen uint64
+
+	// servedRO is the lock-free view of served for the pull fast path: every
+	// mutation of the map under serveMu (variant creation is copy-on-write;
+	// retire installs a fresh empty map) publishes the new map here, so a
+	// current-round pull that finds its variant already built touches no lock
+	// at all. A pull racing a round commit may resolve the retiring round's
+	// body through the old map — indistinguishable from the pull having
+	// arrived a moment earlier, and the window closes at the pointer swap.
+	servedRO atomic.Pointer[map[Compression]*servedEntry]
+
+	// buildSegments fixes how many chunk-aligned segments a served-model
+	// build encodes concurrently; 0 (the default) tracks GOMAXPROCS. The
+	// served bytes are bit-identical at any value (the stitch identity —
+	// TestServeSegmentInvariance); tests pin it to cross-check counts.
+	buildSegments int
+
+	// buildHook, when non-nil, runs at the start of every served-model
+	// build, under the variant's latch but outside serveMu. Test seam for
+	// pinning build concurrency; set before serving, never changed.
+	buildHook func(Compression)
 
 	// history (buffered mode) retains, per base round still inside the
 	// staleness window, the round's immutable snapshot and its served-model
@@ -188,7 +219,9 @@ type Server struct {
 	updatesRaw        atomic.Int64
 	updatesComp       atomic.Int64
 	staleRejected     atomic.Int64
+	servedBuilds      atomic.Int64
 	admitLat          latRing
+	pullLat           latRing
 
 	// bufferedNow mirrors pendingN as an atomic so tier flush policy and
 	// /stats can read the live buffer depth without taking pendMu.
@@ -219,6 +252,24 @@ type servedModel struct {
 	params  []float64
 	bn      []float64
 	nextErr []float64
+
+	// codec and clen are the response's codec-echo and Content-Length header
+	// values, formatted once at build time so the pull hot path writes
+	// precomputed strings instead of formatting per request.
+	codec string
+	clen  string
+}
+
+// servedEntry is one codec variant's slot in the round's served cache. val
+// is the immutable built model, read lock-free; mu is the variant's
+// single-flight latch, held across the O(model) build so N racing pulls for
+// one variant run exactly one build while pulls for other variants (their
+// own entries) and everything on serveMu proceed untouched. Entries are
+// created under serveMu and the map is replaced wholesale when the round
+// retires, so a live entry's val is always nil or the current round's body.
+type servedEntry struct {
+	mu  sync.Mutex
+	val atomic.Pointer[servedModel]
 }
 
 // roundState is one committed round's retained state in buffered mode: the
@@ -254,9 +305,10 @@ func NewServer(initParams, initBN []float64, updatesPerRound int, opts ...Server
 		pendingIDs:      map[int]bool{},
 		shards:          makeShards(len(initParams), nShards),
 		bnShard:         shard{lo: 0, hi: len(initBN)},
-		served:          map[Compression]*servedModel{},
+		served:          map[Compression]*servedEntry{},
 		downErr:         map[Compression][]float64{},
 	}
+	s.setServedLocked(s.served)
 	if cfg.bufferK != 0 || cfg.maxStale != 0 {
 		if cfg.bufferK < 1 {
 			panic("fldist: buffered aggregation needs a commit threshold ≥ 1")
@@ -311,18 +363,6 @@ func (s *Server) handleRound(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "%d", s.model.Load().round)
 }
 
-// countWriter counts bytes written through it.
-type countWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (c *countWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.n += int64(n)
-	return n, err
-}
-
 // countReader counts bytes read through it.
 type countReader struct {
 	r io.Reader
@@ -336,6 +376,7 @@ func (c *countReader) Read(p []byte) (int, error) {
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
@@ -354,24 +395,42 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		s.bytesOutComp.Add(int64(len(sm.body)))
-		w.Header().Set(codecHeader, codecValue(comp))
+		// The body is an immutable finished byte slice — one Write, no
+		// per-pull encode, no staging buffer. Content-Length lets clients
+		// preallocate, and the counter charges what actually left (a puller
+		// hanging up mid-body must not inflate the wire-saving numbers).
+		w.Header().Set(codecHeader, sm.codec)
 		w.Header().Set("Content-Type", contentTypeModel)
-		_, _ = w.Write(sm.body)
+		w.Header().Set("Content-Length", sm.clen)
+		n, _ := w.Write(sm.body)
+		s.bytesOutComp.Add(int64(n))
+		s.pullLat.record(time.Since(start))
 		return
 	}
-	// Raw pull: gob-encode straight from the immutable snapshot into the
-	// response — no model-sized staging buffer, no lock.
-	snap := s.model.Load()
-	blob := ModelBlob{Round: snap.round, Params: snap.params, BN: snap.bn}
+	// Raw pull: the snapshot's lazily built (once per round, single-flight)
+	// gob body is written straight out — no per-pull encode, no lock.
+	body := s.model.Load().gobBody()
 	w.Header().Set("Content-Type", contentTypeGob)
-	cw := &countWriter{w: w}
-	if err := gob.NewEncoder(cw).Encode(blob); err != nil {
-		// Headers are gone; nothing to do but drop the connection.
-		s.bytesOutRaw.Add(cw.n)
-		return
-	}
-	s.bytesOutRaw.Add(cw.n)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	n, _ := w.Write(body)
+	s.bytesOutRaw.Add(int64(n))
+	s.pullLat.record(time.Since(start))
+}
+
+// gobBody returns the snapshot's raw-protocol pull body, gob-encoding it on
+// first use. sync.Once makes the encode single-flight and the result
+// immutable, so a raw pull after the first is one Write of a shared slice.
+func (sn *snapshot) gobBody() []byte {
+	sn.rawOnce.Do(func() {
+		var buf bytes.Buffer
+		blob := ModelBlob{Round: sn.round, Params: sn.params, BN: sn.bn}
+		if err := gob.NewEncoder(&buf).Encode(blob); err != nil {
+			// Plain ints and float64 slices into a bytes.Buffer; unreachable.
+			panic(fmt.Sprintf("fldist: encoding model snapshot: %v", err))
+		}
+		sn.rawBody = buf.Bytes()
+	})
+	return sn.rawBody
 }
 
 // getServed returns (building on first use this round) the compressed pull
@@ -391,35 +450,87 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 // distortion (a running variance crushed toward zero) destabilizes
 // normalization out of all proportion to the bytes saved.
 func (s *Server) getServed(c Compression, wantRound int) (*servedModel, error) {
-	s.serveMu.Lock()
-	defer s.serveMu.Unlock()
-	snap := s.model.Load()
-	if wantRound >= 0 && snap.round != wantRound {
-		// Buffered mode: a delta push may reconstruct against a base up to
-		// maxStale rounds old. Its client pulled before pushing, so if the
-		// round is still retained, the variant's served entry exists.
-		if s.async {
-			if rs := s.history[wantRound]; rs != nil {
-				if sm := rs.served[c]; sm != nil {
-					return sm, nil
-				}
+	// Lock-free fast path: a current-round pull whose variant is already
+	// built resolves through the published map view without touching any
+	// lock — two atomic loads and it holds the immutable body.
+	if wantRound < 0 {
+		if e := (*s.servedRO.Load())[c]; e != nil {
+			if sm := e.val.Load(); sm != nil {
+				return sm, nil
 			}
 		}
-		return nil, errStaleServe
 	}
-	if sm, ok := s.served[c]; ok {
-		if sm.round == snap.round {
+	for {
+		s.serveMu.Lock()
+		snap := s.model.Load()
+		if wantRound >= 0 && snap.round != wantRound {
+			// Buffered mode: a delta push may reconstruct against a base up
+			// to maxStale rounds old. Its client pulled before pushing, so if
+			// the round is still retained, the variant's served entry exists.
+			if s.async {
+				if rs := s.history[wantRound]; rs != nil {
+					if sm := rs.served[c]; sm != nil {
+						s.serveMu.Unlock()
+						return sm, nil
+					}
+				}
+			}
+			s.serveMu.Unlock()
+			return nil, errStaleServe
+		}
+		e, ok := s.served[c]
+		if !ok {
+			if len(s.served) >= maxCodecVariants {
+				s.serveMu.Unlock()
+				return nil, fmt.Errorf("fldist: more than %d codec variants in one round", maxCodecVariants)
+			}
+			e = &servedEntry{}
+			next := make(map[Compression]*servedEntry, len(s.served)+1)
+			for k, v := range s.served {
+				next[k] = v
+			}
+			next[c] = e
+			s.setServedLocked(next)
+		}
+		if sm := e.val.Load(); sm != nil {
+			// Entries never outlive their round (the map is replaced at
+			// retire, under this lock), so a published value is current.
+			s.serveMu.Unlock()
 			return sm, nil
 		}
-		// Unreachable by the lock hierarchy (advanceRound clears the cache
-		// under serveMu before swapping), but a stale entry must never serve
-		// a base from another round — rebuild in place below.
-	} else if len(s.served) >= maxCodecVariants {
-		return nil, fmt.Errorf("fldist: more than %d codec variants in one round", maxCodecVariants)
+		prevErr := s.downErr[c]
+		gen := s.serveGen
+		s.serveMu.Unlock()
+
+		// Build outside serveMu, under the variant's own latch: racing pulls
+		// for this variant queue here and find val set; pulls for other
+		// variants, and everything else on serveMu, never wait on this
+		// O(model) work.
+		e.mu.Lock()
+		if sm := e.val.Load(); sm != nil {
+			e.mu.Unlock()
+			return sm, nil
+		}
+		if s.buildHook != nil {
+			s.buildHook(c)
+		}
+		sm := s.buildServed(snap, prevErr, c)
+		s.servedBuilds.Add(1)
+		// Publish only if no snapshot swap happened mid-build: a body built
+		// from a retired (snapshot, downErr) pairing must not be served as
+		// the new round's state. The stale build is discarded and the loop
+		// re-resolves against the current round.
+		s.serveMu.Lock()
+		fresh := gen == s.serveGen
+		if fresh {
+			e.val.Store(sm)
+		}
+		s.serveMu.Unlock()
+		e.mu.Unlock()
+		if fresh {
+			return sm, nil
+		}
 	}
-	sm := buildServed(snap, s.downErr[c], c)
-	s.served[c] = sm
-	return sm, nil
 }
 
 // errStaleServe reports a served-base lookup for a round the server has
@@ -450,44 +561,82 @@ func (s *Server) baseAt(round int) (*snapshot, error) {
 }
 
 // buildServed constructs one codec variant's served model from an immutable
-// snapshot: the envelope bytes (streamed through the incremental encoder),
-// the dequantized base, and the downlink residual to commit if the round
-// completes.
-func buildServed(snap *snapshot, prevErr []float64, c Compression) *servedModel {
+// snapshot, segment-parallel: the frame sizes are closed-form
+// (quant.FrameBytes / quant.SegmentBytes), so the exact-size body is
+// allocated up front, the envelope and frame headers written in place, and
+// each chunk-aligned segment encoded by its own goroutine into its disjoint
+// byte range — EF-residual add before the encode and residual fold after it
+// both happen per segment, so no pass over the model is serial. The stitch
+// identity (quant.EncodeSegmentInto doc, TestSegmentStitchGoldenBytes) makes
+// the result byte-identical to the sequential EncodeStream build at any
+// segment count and GOMAXPROCS; TestServeSegmentInvariance pins that end to
+// end.
+func (s *Server) buildServed(snap *snapshot, prevErr []float64, c Compression) *servedModel {
 	n := len(snap.params)
-	v := make([]float64, n)
-	copy(v, snap.params)
-	if len(prevErr) == n {
-		for i := range v {
-			v[i] += prevErr[i]
-		}
-	}
 	sm := &servedModel{
 		round:  snap.round,
 		params: make([]float64, n),
 		bn:     snap.bn, // immutable snapshot slice — safe to share
 	}
-	var buf bytes.Buffer
-	// Envelope header + params frame (header, then per chunk one scale and
-	// byte-padded codes) + raw BN frame, with a little slack — one
-	// allocation, no grows.
-	nc := quant.NumChunks(n, c.Chunk)
-	buf.Grow(9 + 14 + nc*(8+(c.Chunk*c.Bits+7)/8) + 14 + 8*len(snap.bn) + 64)
-	buf.WriteString(modelMagic)
-	buf.WriteByte(envVersion)
-	var rd [4]byte
-	binary.LittleEndian.PutUint32(rd[:], uint32(snap.round))
-	buf.Write(rd[:])
-	if err := quant.EncodeStream(&buf, v, c.Bits, c.Chunk, sm.params); err != nil {
+	next := make([]float64, n)
+	bnFrame := quant.EncodeRaw(snap.bn)
+	body := make([]byte, 9+quant.FrameBytes(n, c.Chunk, c.Bits)+len(bnFrame))
+	copy(body, modelMagic)
+	body[4] = envVersion
+	binary.LittleEndian.PutUint32(body[5:9], uint32(snap.round))
+	if err := quant.PutFrameHeader(body[9:9+quant.FrameHeaderSize], c.Bits, n, c.Chunk); err != nil {
 		// c was validated by normalize() and n fits a frame; unreachable.
 		panic(fmt.Sprintf("fldist: building served model: %v", err))
 	}
-	buf.Write(quant.EncodeRaw(snap.bn))
-	for i := range v {
-		v[i] -= sm.params[i]
+	payload := body[9+quant.FrameHeaderSize : len(body)-len(bnFrame)]
+	copy(body[len(body)-len(bnFrame):], bnFrame)
+
+	encodeSegment := func(lo, hi int) {
+		v := next[lo:hi]
+		copy(v, snap.params[lo:hi])
+		if len(prevErr) == n {
+			pe := prevErr[lo:hi]
+			for i := range v {
+				v[i] += pe[i]
+			}
+		}
+		blo := quant.SegmentBytes(lo, c.Chunk, c.Bits)
+		bhi := quant.SegmentBytes(hi, c.Chunk, c.Bits)
+		deq := sm.params[lo:hi]
+		if err := quant.EncodeSegmentInto(payload[blo:bhi], v, c.Bits, c.Chunk, deq); err != nil {
+			panic(fmt.Sprintf("fldist: building served model: %v", err))
+		}
+		for i := range v {
+			v[i] -= deq[i]
+		}
 	}
-	sm.nextErr = v
-	sm.body = buf.Bytes()
+	segs := s.buildSegments
+	if segs <= 0 {
+		segs = runtime.GOMAXPROCS(0)
+	}
+	bounds := quant.SegmentBounds(n, c.Chunk, segs)
+	if len(bounds) > 2 && runtime.GOMAXPROCS(0) > 1 {
+		var wg sync.WaitGroup
+		for k := 0; k+2 < len(bounds); k++ {
+			lo, hi := bounds[k], bounds[k+1]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				encodeSegment(lo, hi)
+			}()
+		}
+		// The last segment runs on the calling goroutine.
+		encodeSegment(bounds[len(bounds)-2], bounds[len(bounds)-1])
+		wg.Wait()
+	} else {
+		for k := 0; k+1 < len(bounds); k++ {
+			encodeSegment(bounds[k], bounds[k+1])
+		}
+	}
+	sm.nextErr = next
+	sm.body = body
+	sm.codec = codecValue(c)
+	sm.clen = strconv.Itoa(len(body))
 	return sm
 }
 
@@ -1021,14 +1170,17 @@ func (s *Server) advanceRound() {
 	// actually served this round (bounded by maxCodecVariants), replacing
 	// last round's state, and drop the round's served cache. The snapshot
 	// swap happens inside both serveMu and pendMu so cache builders and
-	// update registrations each observe a consistent round.
+	// update registrations each observe a consistent round; the generation
+	// bump voids any build still in flight against the old state.
 	s.serveMu.Lock()
-	downErr := make(map[Compression][]float64, len(s.served))
-	for c, sm := range s.served {
+	served := s.collectServedLocked(old.round)
+	downErr := make(map[Compression][]float64, len(served))
+	for c, sm := range served {
 		downErr[c] = sm.nextErr
 	}
 	s.downErr = downErr
-	s.served = map[Compression]*servedModel{}
+	s.setServedLocked(map[Compression]*servedEntry{})
+	s.serveGen++
 
 	s.pendMu.Lock()
 	s.model.Store(next)
@@ -1038,6 +1190,60 @@ func (s *Server) advanceRound() {
 	s.serveMu.Unlock()
 
 	s.roundsCompleted.Add(1)
+}
+
+// collectServedLocked gathers the codec variants actually built for the
+// given round out of the entry map — an entry whose build is still in
+// flight (val unset) has served nobody and is skipped; the generation bump
+// at retire makes that build discard itself. Caller holds serveMu.
+func (s *Server) collectServedLocked(round int) map[Compression]*servedModel {
+	out := make(map[Compression]*servedModel, len(s.served))
+	for c, e := range s.served {
+		if sm := e.val.Load(); sm != nil && sm.round == round {
+			out[c] = sm
+		}
+	}
+	return out
+}
+
+// retireRoundLocked is the serve-plane half of a buffered-mode round
+// transition, shared by commitBuffer and the edge tier's adopt: it advances
+// the downlink error-feedback chain of the variants served in the retiring
+// round (variants that skipped the round — buffered commits can outpace a
+// slow puller — keep their previous residual instead of losing the chain;
+// if that ever grows the map past the per-round variant bound, the unserved
+// entries are the ones dropped), retains the retiring round's snapshot and
+// served cache for stale-push reconstruction, evicts rounds that fell out
+// of the staleness window, resets the served map, and voids in-flight
+// builds via the generation bump. Caller holds serveMu.
+func (s *Server) retireRoundLocked(old *snapshot, nextRound int) {
+	served := s.collectServedLocked(old.round)
+	for c, sm := range served {
+		s.downErr[c] = sm.nextErr
+	}
+	if len(s.downErr) > maxCodecVariants {
+		for c := range s.downErr {
+			if _, ok := served[c]; !ok {
+				delete(s.downErr, c)
+			}
+		}
+	}
+	s.history[old.round] = &roundState{snap: old, served: served}
+	for r := range s.history {
+		if r < nextRound-s.maxStale {
+			delete(s.history, r)
+		}
+	}
+	s.setServedLocked(map[Compression]*servedEntry{})
+	s.serveGen++
+}
+
+// setServedLocked replaces the served-variant map and publishes the new map
+// to the lock-free reader view. Caller holds serveMu; the map passed in must
+// never be mutated afterwards — readers hold it without a lock.
+func (s *Server) setServedLocked(m map[Compression]*servedEntry) {
+	s.served = m
+	s.servedRO.Store(&m)
 }
 
 // foldShards runs fold over every parameter shard — concurrently when the
@@ -1106,30 +1312,7 @@ func (s *Server) commitBuffer() {
 	)
 
 	s.serveMu.Lock()
-	// Advance the downlink error-feedback chain of the variants served this
-	// round. Variants that skipped the round (buffered commits can outpace a
-	// slow puller) keep their previous residual instead of losing the chain;
-	// if that ever grows the map past the per-round variant bound, the
-	// unserved entries are the ones dropped.
-	for c, sm := range s.served {
-		s.downErr[c] = sm.nextErr
-	}
-	if len(s.downErr) > maxCodecVariants {
-		for c := range s.downErr {
-			if _, ok := s.served[c]; !ok {
-				delete(s.downErr, c)
-			}
-		}
-	}
-	// Retain the committed round for stale-push reconstruction; evict
-	// everything the new round pushes out of the staleness window.
-	s.history[old.round] = &roundState{snap: old, served: s.served}
-	for r := range s.history {
-		if r < next.round-s.maxStale {
-			delete(s.history, r)
-		}
-	}
-	s.served = map[Compression]*servedModel{}
+	s.retireRoundLocked(old, next.round)
 
 	s.pendMu.Lock()
 	s.model.Store(next)
@@ -1163,6 +1346,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // in-flight pushes or pulls.
 func (s *Server) Stats() Stats {
 	p50, p99 := s.admitLat.percentiles()
+	pullP50, pullP99 := s.pullLat.percentiles()
 	st := Stats{
 		Round:              s.model.Load().round,
 		RoundsCompleted:    int(s.roundsCompleted.Load()),
@@ -1176,6 +1360,9 @@ func (s *Server) Stats() Stats {
 		UpdatesCompressed:  s.updatesComp.Load(),
 		AdmitP50Micros:     p50,
 		AdmitP99Micros:     p99,
+		PullP50Micros:      pullP50,
+		PullP99Micros:      pullP99,
+		ServedBuilds:       s.servedBuilds.Load(),
 	}
 	if s.async {
 		b := &BufferedStats{

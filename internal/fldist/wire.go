@@ -79,18 +79,23 @@ func codecValue(c Compression) string {
 // parseCodec parses a negotiation header value. An empty value reports
 // ok=false with no error (no compression requested); a malformed or
 // unsupported value reports an error so the server can answer 400 rather
-// than silently downgrading a client that asked for compression.
+// than silently downgrading a client that asked for compression. The parse
+// walks the string with strings.Cut instead of splitting into a slice — it
+// runs on the pull hot path of every compressed GET /model, where a
+// per-request allocation is measurable at high fan-out.
 func parseCodec(v string) (Compression, bool, error) {
 	v = strings.TrimSpace(v)
 	if v == "" {
 		return Compression{}, false, nil
 	}
-	parts := strings.Split(v, ";")
-	if strings.TrimSpace(parts[0]) != codecName {
-		return Compression{}, false, fmt.Errorf("fldist: unsupported codec %q", parts[0])
+	name, rest, _ := strings.Cut(v, ";")
+	if strings.TrimSpace(name) != codecName {
+		return Compression{}, false, fmt.Errorf("fldist: unsupported codec %q", name)
 	}
 	var c Compression
-	for _, p := range parts[1:] {
+	for rest != "" {
+		var p string
+		p, rest, _ = strings.Cut(rest, ";")
 		k, val, found := strings.Cut(strings.TrimSpace(p), "=")
 		if !found {
 			return Compression{}, false, fmt.Errorf("fldist: malformed codec parameter %q", p)
@@ -171,6 +176,15 @@ type Stats struct {
 	UpdatesCompressed  int64   `json:"updates_compressed"`
 	AdmitP50Micros     float64 `json:"admit_p50_us"`
 	AdmitP99Micros     float64 `json:"admit_p99_us"`
+
+	// PullP50Micros/PullP99Micros are per-pull serve-time percentiles
+	// (request parse → body written) over the same sliding-window ring as
+	// the admit percentiles; ServedBuilds counts served-model cache builds
+	// (compressed variants only), so a cache-rebuild storm — many builds per
+	// round — is visible instead of hiding inside pull tail latency.
+	PullP50Micros float64 `json:"pull_p50_us"`
+	PullP99Micros float64 `json:"pull_p99_us"`
+	ServedBuilds  int64   `json:"served_builds"`
 
 	// Buffered is the buffered-aggregation section, non-nil exactly when
 	// the server runs WithBufferedAggregation — presence is the mode
