@@ -20,12 +20,15 @@
 #                         vs flat fleet, bit-identical final models (in ci)
 #   make smoke-pull     - ~2s serve-path check: high-fan-out pull phase under
 #                         cache churn against both servers (in ci)
+#   make smoke-wal      - ~2s crash drill: WAL-backed server SIGKILLed
+#                         mid-round twice, recovered, federation finished,
+#                         final model bit-identical (in ci)
 #   make check-docs     - fail on dead relative links in README/docs
 #   make cover   - tests with coverage summary
 
 GO ?= go
 
-.PHONY: all build vet test test-race check-docs smoke-serve smoke-edge smoke-pull ci bench bench-parallel bench-conv bench-json bench-wire bench-serve cover clean
+.PHONY: all build vet test test-race check-docs smoke-serve smoke-edge smoke-pull smoke-wal ci bench bench-parallel bench-conv bench-json bench-wire bench-serve cover clean
 
 all: ci
 
@@ -71,7 +74,14 @@ smoke-edge:
 smoke-pull:
 	GOMAXPROCS=4 $(GO) run ./cmd/benchserve -smoke-pull
 
-ci: build vet test test-race check-docs smoke-serve smoke-edge smoke-pull
+# The ~2-second WAL crash drill: a child-process server is kill -9'd
+# mid-round with admitted-but-uncommitted updates buffered, recovered (twice),
+# the federation finishes, and the final recovered model must be bit-identical
+# to the last served snapshot.
+smoke-wal:
+	GOMAXPROCS=4 $(GO) run ./cmd/benchserve -smoke-wal
+
+ci: build vet test test-race check-docs smoke-serve smoke-edge smoke-pull smoke-wal
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .

@@ -110,9 +110,17 @@ type report struct {
 	Hierarchical   []hierResult      `json:"hierarchical,omitempty"`
 	Pull           []pullResult      `json:"pull,omitempty"`
 	PullSpeedup    float64           `json:"pull_speedup_vs_baseline,omitempty"`
+	WAL            []walResult       `json:"wal,omitempty"`
+	// WALOverheadFrac is the buffered-phase throughput fraction the WAL
+	// costs: 1 − (updates/sec with WAL)/(updates/sec without).
+	WALOverheadFrac float64 `json:"wal_overhead_frac,omitempty"`
 }
 
 func main() {
+	if dir := os.Getenv(walChildEnv); dir != "" {
+		runWALChild(dir)
+		return
+	}
 	var (
 		out       = flag.String("out", "BENCH_serve.json", "output JSON path (empty = don't write)")
 		nParams   = flag.Int("params", 50000, "synthetic model size (float64 values)")
@@ -126,6 +134,7 @@ func main() {
 		smoke     = flag.Bool("smoke", false, "CI smoke: N=8 only, short phases, no output file")
 		smokeEdge = flag.Bool("smoke-edge", false, "CI topology check: 2 edges × 4 clients vs 8 flat over real HTTP, bit-identical or fail")
 		smokePull = flag.Bool("smoke-pull", false, "CI serve-path check: ~2s high-fan-out pull phase under cache churn against both servers, no output file")
+		smokeWAL  = flag.Bool("smoke-wal", false, "CI crash drill: SIGKILL a WAL-backed child server mid-round twice, recover, verify bit-identity, no output file")
 		pullN     = flag.Int("pull-clients", 256, "concurrent pullers in the pull-heavy phase")
 		pullSize  = flag.Int("pull-params", 1<<20, "synthetic model size (float64 values) of the pull-heavy phase")
 		timestamp = flag.String("timestamp", "", "run timestamp recorded in the output metadata (e.g. `date -u +%Y-%m-%dT%H:%M:%SZ`)")
@@ -137,6 +146,10 @@ func main() {
 	}
 	if *smokePull {
 		runSmokePull()
+		return
+	}
+	if *smokeWAL {
+		runSmokeWAL()
 		return
 	}
 	stragglerN := 16
@@ -222,6 +235,25 @@ func main() {
 		stragglerN, *train,
 		syncStr.UpdatesPerSec, syncStr.WastedPasses, syncStr.StragglerUpdates,
 		asyncStr.UpdatesPerSec, asyncStr.WastedPasses, asyncStr.StragglerUpdates, rep.AsyncSpeedup)
+
+	// WAL overhead phase: the identical buffered fleet — training `-train`
+	// per round, like the straggler phases — with and without the write-ahead
+	// log underneath: what crash safety costs a deployed federation in
+	// updates/sec.
+	walOff := runWALPhase(stragglerN, *duration, *train, initParams, *bits, *chunk, *shards, "")
+	walDir, err := os.MkdirTemp("", "benchserve-wal-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	walOn := runWALPhase(stragglerN, *duration, *train, initParams, *bits, *chunk, *shards, walDir)
+	os.RemoveAll(walDir)
+	rep.WAL = []walResult{walOff, walOn}
+	if walOff.UpdatesPerSec > 0 {
+		rep.WALOverheadFrac = 1 - walOn.UpdatesPerSec/walOff.UpdatesPerSec
+	}
+	log.Printf("wal N=%d: off %6.0f up/s | on %6.0f up/s (%d records, %.1f MB logged) | %.1f%% overhead",
+		stragglerN, walOff.UpdatesPerSec, walOn.UpdatesPerSec,
+		walOn.WALRecords, float64(walOn.WALBytes)/(1<<20), 100*rep.WALOverheadFrac)
 
 	// Hierarchical phase: the same client count flat vs split into cohorts
 	// behind edge aggregators — the root-side admission reduction is the

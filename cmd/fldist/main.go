@@ -33,6 +33,17 @@
 // window. Run the clients with -async to pipeline pull→train→push against
 // such a server. The wire protocol is identical in both modes.
 //
+// Passing -wal <dir> makes the server crash-safe: commits (and, in buffered
+// mode, every admission between commits) are appended to a write-ahead log in
+// <dir> before they take effect, and any later boot with the same -wal
+// recovers at the last commit — kill -9 included; the aggregation flags are
+// then read from the log, not the command line. -wal-handoff starts a
+// successor that blocks until the incumbent exits (or dies) and takes over
+// the federation at its last commit. On an edge, -wal durably parks the
+// committed-but-unacknowledged upstream batch so a restarted edge re-pushes
+// it under its original identity (the upstream drops the replay as a
+// duplicate if it had already landed).
+//
 // Edge aggregator (the middle tier of a hierarchical topology):
 //
 //	fldist -edge -upstream http://root:8080 -addr :8081 -flush 8 -flush-age 500ms
@@ -65,6 +76,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -99,6 +111,8 @@ func main() {
 		flushK   = flag.Int("flush", 8, "edge mode: push upstream once this many cohort updates buffered")
 		flushAge = flag.Duration("flush-age", 500*time.Millisecond, "edge mode: push upstream once the oldest buffered update is this old (0 = depth/drain only)")
 		edgeID   = flag.Int("edge-id", 0, "edge mode: base of this process's upstream client ID blocks, one block of fldist.EdgeIDSpan IDs per cohort; must be disjoint across edge processes sharing an upstream (0 = randomize)")
+		walDir   = flag.String("wal", "", "server/edge mode: write-ahead log directory; a restart (or crash) resumes from it, so the first boot creates the log and every later boot recovers")
+		handoff  = flag.Bool("wal-handoff", false, "server mode with -wal: wait for the process currently holding the WAL to exit, then take over at its last commit")
 	)
 	flag.Parse()
 
@@ -138,12 +152,20 @@ func main() {
 			idBase = 1<<20 + fldist.EdgeIDSpan*(1+rand.Intn(1<<24))
 		}
 		mkEdge := func(name string, i int) *fldist.Edge {
-			return fldist.NewEdge(*upstream,
+			opts := []fldist.EdgeOption{
 				fldist.WithEdgeName(name),
-				fldist.WithEdgeClientID(idBase+i*fldist.EdgeIDSpan),
+				fldist.WithEdgeClientID(idBase + i*fldist.EdgeIDSpan),
 				fldist.WithEdgeFlush(*flushK, *flushAge),
 				fldist.WithEdgeWindow(*stale),
-				fldist.WithEdgeShards(*shards))
+				fldist.WithEdgeShards(*shards),
+			}
+			if *walDir != "" {
+				// One parked-batch slot per cohort; a restarted process
+				// re-pushes each cohort's unacknowledged batch before
+				// serving (deduped upstream if it had landed).
+				opts = append(opts, fldist.WithEdgeWAL(filepath.Join(*walDir, "cohort-"+name)))
+			}
+			return fldist.NewEdge(*upstream, opts...)
 		}
 		if len(names) == 1 {
 			e := mkEdge(names[0], 0)
@@ -194,13 +216,40 @@ func main() {
 
 	case *serve:
 		m := build()
-		opts := []fldist.ServerOption{fldist.WithShards(*shards)}
-		mode := fmt.Sprintf("quorum %d", *quorum)
-		if *buffer > 0 {
-			opts = append(opts, fldist.WithBufferedAggregation(*buffer, *stale))
-			mode = fmt.Sprintf("buffered K=%d staleness≤%d", *buffer, *stale)
+		var srv *fldist.Server
+		var mode string
+		switch {
+		case *walDir != "" && *handoff:
+			// Live handoff: block until the incumbent releases the log (the
+			// kernel drops its flock on any exit, crash included), then
+			// resume at its last commit.
+			log.Printf("waiting for WAL handoff from %s", *walDir)
+			s, err := fldist.Handoff(ctx, *walDir, fldist.WithShards(*shards))
+			if err != nil {
+				log.Fatal(err)
+			}
+			srv, mode = s, fmt.Sprintf("recovered via handoff at round %d", s.Round())
+		case *walDir != "" && fldist.WALExists(*walDir):
+			// Every boot after the first recovers: the aggregation mode and
+			// thresholds come from the log, not the flags.
+			s, err := fldist.RecoverServer(*walDir, fldist.WithShards(*shards))
+			if err != nil {
+				log.Fatal(err)
+			}
+			srv, mode = s, fmt.Sprintf("recovered from WAL at round %d", s.Round())
+		default:
+			opts := []fldist.ServerOption{fldist.WithShards(*shards)}
+			mode = fmt.Sprintf("quorum %d", *quorum)
+			if *buffer > 0 {
+				opts = append(opts, fldist.WithBufferedAggregation(*buffer, *stale))
+				mode = fmt.Sprintf("buffered K=%d staleness≤%d", *buffer, *stale)
+			}
+			if *walDir != "" {
+				opts = append(opts, fldist.WithWAL(*walDir))
+				mode += fmt.Sprintf(", WAL %s", *walDir)
+			}
+			srv = fldist.NewServer(nn.ExportParams(m), nn.ExportBNStats(m), *quorum, opts...)
 		}
-		srv := fldist.NewServer(nn.ExportParams(m), nn.ExportBNStats(m), *quorum, opts...)
 		log.Printf("parameter server on %s (%s, model %s, %d params, %d shards)",
 			*addr, mode, m.Label, nn.NumParams(m), srv.Shards())
 		if err := srv.ListenAndServe(ctx, *addr); err != nil {

@@ -43,6 +43,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"sync"
@@ -58,6 +59,7 @@ type edgeConfig struct {
 	flushAge time.Duration
 	window   int
 	shards   int
+	walDir   string
 	hc       *http.Client
 }
 
@@ -104,6 +106,21 @@ func WithEdgeShards(n int) EdgeOption {
 	return func(c *edgeConfig) { c.shards = n }
 }
 
+// WithEdgeWAL makes the edge's parked upstream batch crash-safe: every
+// committed-but-unacknowledged batch is persisted (whole, via atomic replace)
+// in dir's single-slot edge.wal before the push, and a restarted edge
+// re-pushes it with its original pushID before doing anything else — the
+// upstream's (round, pushID) dedup turns the replay into a duplicate 200 if
+// the first attempt had in fact landed, so a crash on either side of the
+// acknowledgement costs nothing and double-counts nothing. Only the parked
+// batch is durable: cohort updates still buffering toward the next commit die
+// with the process (their clients re-push, exactly as they would against a
+// restarted root without a WAL). The slot also restores the batch ID cursor,
+// keeping later batches' dedup identities on the same EdgeIDSpan cycle.
+func WithEdgeWAL(dir string) EdgeOption {
+	return func(c *edgeConfig) { c.walDir = dir }
+}
+
 // WithEdgeHTTPClient sets the http.Client used for upstream pulls and
 // pushes. Default http.DefaultClient.
 func WithEdgeHTTPClient(hc *http.Client) EdgeOption {
@@ -135,10 +152,21 @@ func init() { edgeAutoID.Store(1 << 20) }
 // identity within the edge's EdgeIDSpan block, fixed at commit time so
 // retries and rebases of this batch stay idempotent upstream while the next
 // batch pushes under a fresh key.
+// The payload and base are frozen at park time (parkBatchLocked), not at push
+// time: what the WAL holds is byte-for-byte what the wire will carry, so a
+// restarted edge re-pushes exactly what the crashed one would have. snap is
+// nil for a batch recovered from the edge WAL — the inner model it came from
+// died with the previous process.
 type unpushedBatch struct {
 	snap   *snapshot
 	batch  commitInfo
 	pushID int
+
+	payloadP  []float64
+	payloadB  []float64
+	baseRound int
+	baseP     []float64
+	baseB     []float64
 }
 
 // Edge is an edge aggregator: a buffered parameter server for its cohort and
@@ -155,6 +183,7 @@ type Edge struct {
 	flushAge time.Duration
 	window   int
 	shards   int
+	walDir   string
 
 	inner        *Server
 	innerHandler http.Handler
@@ -236,6 +265,7 @@ func NewEdge(upstream string, opts ...EdgeOption) *Edge {
 		flushAge: cfg.flushAge,
 		window:   cfg.window,
 		shards:   cfg.shards,
+		walDir:   cfg.walDir,
 		done:     make(chan struct{}),
 	}
 }
@@ -253,6 +283,12 @@ func (e *Edge) ClientID() int { return e.clientID }
 func (e *Edge) Start(ctx context.Context) error {
 	if e.started.Swap(true) {
 		return errors.New("fldist: edge already started")
+	}
+	if e.walDir != "" {
+		if err := e.recoverParkedBatch(ctx); err != nil {
+			e.started.Store(false)
+			return err
+		}
 	}
 	blob, err := e.pullUpstreamRetry(ctx)
 	if err != nil {
@@ -273,6 +309,39 @@ func (e *Edge) Start(ctx context.Context) error {
 	e.innerHandler = inner.Handler()
 	e.setBase(blob)
 	go e.flusher(ctx)
+	return nil
+}
+
+// recoverParkedBatch completes the push a previous run of this edge parked in
+// the WAL but never got acknowledged for. It runs before the initial pull and
+// before the inner server exists: the parked payload was frozen at park time,
+// so pushing it needs no local model state — only the stored base (for a
+// staleness rebase) and the stored pushID (for upstream dedup). The batch ID
+// cursor is restored from the slot so batches committed after the restart
+// keep drawing fresh dedup identities.
+func (e *Edge) recoverParkedBatch(ctx context.Context) error {
+	b, ok, err := readEdgeWAL(e.walDir)
+	if err != nil {
+		return fmt.Errorf("fldist: edge wal recovery: %w", err)
+	}
+	if !ok {
+		return nil
+	}
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	e.pushSeq = b.pushSeq
+	e.unpushed = &unpushedBatch{
+		batch:     commitInfo{updates: b.updates, weight: b.weight},
+		pushID:    b.pushID,
+		payloadP:  b.payloadP,
+		payloadB:  b.payloadB,
+		baseRound: b.baseRnd,
+		baseP:     b.baseP,
+		baseB:     b.baseBN,
+	}
+	if err := e.pushBatchLocked(ctx, false); err != nil {
+		return fmt.Errorf("fldist: edge wal recovery: %w", err)
+	}
 	return nil
 }
 
@@ -418,7 +487,7 @@ func (e *Edge) flush(ctx context.Context, reason *atomic.Int64) {
 			return
 		}
 		reason.Add(1)
-		e.unpushed = &unpushedBatch{snap: e.inner.model.Load(), batch: batch, pushID: e.nextPushIDLocked()}
+		e.parkBatchLocked(batch)
 	}
 	if err := e.pushBatchLocked(ctx, true); err != nil {
 		return // ctx canceled; e.unpushed survives for Drain
@@ -435,6 +504,58 @@ func (e *Edge) nextPushIDLocked() int {
 	id := e.clientID + e.pushSeq%EdgeIDSpan
 	e.pushSeq++
 	return id
+}
+
+// parkBatchLocked freezes a freshly committed batch into the unpushed slot:
+// it draws the batch's upstream dedup identity, computes the exact payload
+// the push will carry — the inner model verbatim on the first push since the
+// last adopt, otherwise re-expressed as base + (model − lastPushed) so the
+// previous push from this base is not double-counted upstream — and, when the
+// edge has a WAL dir, persists the parked batch so a restarted edge re-pushes
+// it under the same identity. Caller holds flushMu.
+func (e *Edge) parkBatchLocked(batch commitInfo) {
+	snap := e.inner.model.Load()
+	params, bn := snap.params, snap.bn
+	if !e.cleanBase {
+		params = rebaseVec(e.baseParams, snap.params, e.lastPushedP)
+		bn = rebaseVec(e.baseBN, snap.bn, e.lastPushedB)
+	}
+	e.unpushed = &unpushedBatch{
+		snap:      snap,
+		batch:     batch,
+		pushID:    e.nextPushIDLocked(),
+		payloadP:  params,
+		payloadB:  bn,
+		baseRound: e.baseRound,
+		baseP:     e.baseParams,
+		baseB:     e.baseBN,
+	}
+	e.persistUnpushedLocked()
+}
+
+// persistUnpushedLocked writes the parked batch to the edge WAL slot. A write
+// failure downgrades durability, not correctness: the push proceeds, and only
+// a crash before its acknowledgement would lose the batch — so it warns and
+// carries on. Caller holds flushMu; no-op without a WAL dir.
+func (e *Edge) persistUnpushedLocked() {
+	if e.walDir == "" || e.unpushed == nil {
+		return
+	}
+	u := e.unpushed
+	err := writeEdgeWAL(e.walDir, walEdgeBatch{
+		pushID:   u.pushID,
+		pushSeq:  e.pushSeq,
+		baseRnd:  u.baseRound,
+		weight:   u.batch.weight,
+		updates:  u.batch.updates,
+		payloadP: u.payloadP,
+		payloadB: u.payloadB,
+		baseP:    u.baseP,
+		baseBN:   u.baseB,
+	})
+	if err != nil {
+		log.Printf("fldist: edge: parking batch durably failed (a crash before the push lands would lose it): %v", err)
+	}
 }
 
 // Drain flushes everything still buffered upstream: first any batch whose
@@ -459,7 +580,7 @@ func (e *Edge) Drain(ctx context.Context) error {
 		return nil
 	}
 	e.flushByDrain.Add(1)
-	e.unpushed = &unpushedBatch{snap: e.inner.model.Load(), batch: batch, pushID: e.nextPushIDLocked()}
+	e.parkBatchLocked(batch)
 	if err := e.pushBatchLocked(ctx, false); err != nil {
 		return fmt.Errorf("fldist: edge drain: %w", err)
 	}
@@ -473,42 +594,37 @@ func (e *Edge) Drain(ctx context.Context) error {
 // flushMu. It returns nil exactly when the push was acknowledged; e.unpushed
 // is cleared then and kept otherwise.
 func (e *Edge) pushBatchLocked(ctx context.Context, resync bool) error {
-	snap := e.unpushed.snap
-	weight := e.unpushed.batch.weight
-
-	// The payload: the inner model verbatim when this is the first push
-	// since the last adopt; otherwise the previous pushed state is backed
-	// out so the upstream folds only this batch's delta (see the exactness
-	// invariant in the package comment).
-	params, bn := snap.params, snap.bn
-	if !e.cleanBase {
-		params = rebaseVec(e.baseParams, snap.params, e.lastPushedP)
-		bn = rebaseVec(e.baseBN, snap.bn, e.lastPushedB)
-	}
-	baseRound := e.baseRound
-	baseP, baseB := e.baseParams, e.baseBN
-
+	u := e.unpushed
 	backoff := 10 * time.Millisecond
 	for {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
 		err := e.pushUpstream(ctx, Update{
-			ClientID: e.unpushed.pushID,
-			Round:    baseRound,
-			Weight:   weight,
-			Params:   params,
-			BN:       bn,
+			ClientID: u.pushID,
+			Round:    u.baseRound,
+			Weight:   u.batch.weight,
+			Params:   u.payloadP,
+			BN:       u.payloadB,
 		})
 		switch {
 		case err == nil:
 			e.upPushes.Add(1)
-			e.lastPushedP = snap.params
-			e.lastPushedB = snap.bn
-			e.cleanBase = false
+			if u.snap != nil {
+				// A recovered batch (nil snap) has no inner model to record:
+				// Start adopts a fresh upstream base right after this push.
+				e.lastPushedP = u.snap.params
+				e.lastPushedB = u.snap.bn
+				e.cleanBase = false
+			}
 			e.unpushed = nil
+			if e.walDir != "" {
+				if cerr := clearEdgeWAL(e.walDir); cerr != nil {
+					log.Printf("fldist: edge: clearing pushed batch: %v", cerr)
+				}
+			}
 			if resync {
-				e.resyncLocked(ctx, baseRound)
+				e.resyncLocked(ctx, u.baseRound)
 			}
 			return nil
 		case errors.Is(err, ErrStaleRound):
@@ -516,15 +632,21 @@ func (e *Edge) pushBatchLocked(ctx context.Context, resync bool) error {
 			// the batch buffered. The cohort's training is not thrown away:
 			// pull the current upstream model and re-express the combined
 			// delta against it — the rebased payload carries the identical
-			// cohort delta at a fresh (possibly zero) staleness.
+			// cohort delta at a fresh (possibly zero) staleness. The parked
+			// slot (and its WAL record) is rewritten before the re-push so
+			// durable state always matches what the wire will carry.
 			blob, perr := e.pullUpstreamRetry(ctx)
 			if perr != nil {
 				return perr
 			}
-			params = rebaseVec(blob.Params, params, baseP)
-			bn = rebaseVec(blob.BN, bn, baseB)
-			baseRound = blob.Round
-			baseP, baseB = blob.Params, blob.BN
+			if len(blob.Params) != len(u.payloadP) || len(blob.BN) != len(u.payloadB) {
+				return fmt.Errorf("fldist: edge push: upstream model shape changed")
+			}
+			u.payloadP = rebaseVec(blob.Params, u.payloadP, u.baseP)
+			u.payloadB = rebaseVec(blob.BN, u.payloadB, u.baseB)
+			u.baseRound = blob.Round
+			u.baseP, u.baseB = blob.Params, blob.BN
+			e.persistUnpushedLocked()
 			e.upRebased.Add(1)
 		default:
 			// Transport failure or upstream commit stall: the upstream is

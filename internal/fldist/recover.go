@@ -1,0 +1,539 @@
+package fldist
+
+// Recovery and handoff for the write-ahead log (wal.go). The algorithm —
+// documented with the determinism argument in docs/ARCHITECTURE.md
+// ("Durability") — is O(staleness window), independent of log length:
+//
+//  1. Read the meta record at offset 0 and the wal.idx checkpoint; seek to
+//     the oldest in-window commit the idx pins (full forward scan from the
+//     meta record only if the idx is missing or disagrees with the log).
+//  2. Forward-scan to EOF: commit records rebuild the retained-round history
+//     and the latest snapshot + downlink-EF residuals; admission records
+//     re-mark the dedup horizon and, for the round after the last commit,
+//     re-enter the admission machinery. The first structurally bad record
+//     ends the scan — a torn final record is a crash mid-append, and
+//     everything before it is intact by CRC.
+//  3. Truncate the torn tail and resume appending where the intact log ends.
+//
+// Replay is bit-identical to never having crashed, by two arguments:
+//
+// Delta-form admissions (raw-gob pushes) log d = vals−base. The fold consumes
+// each contribution only as weight·(vals−base) per element, so replaying as
+// (d, 0) feeds the identical difference through the identical
+// (baseRound, clientID)-ordered fold.
+//
+// Frame-form admissions (compressed pushes) log the client's wire frames
+// verbatim. Replay re-runs the live handler's own arithmetic — stream-decode,
+// add the served base the client pulled — against that base rebuilt from the
+// base round's commit record: buildServed is a byte-deterministic function of
+// (snapshot, entry residual, codec), and the commit record carries exactly
+// those inputs. (d = (base⊕dq)⊖base generally ≠ dq in IEEE-754, which is why
+// the frames must be replayed through the add, not substituted for a delta.)
+//
+// TestRecoverBitIdentical* pin both across modes, shard counts, and crash
+// points.
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fedprophet/internal/quant"
+)
+
+// walRecCommitPos is one intact commit record found by the scan.
+type walRecCommitPos struct {
+	c   walCommit
+	off int64
+}
+
+// walRecovered is everything the forward scan extracted from the intact log
+// prefix.
+type walRecovered struct {
+	meta    walMeta
+	commits []walRecCommitPos // in log order; last is the current round
+	admits  []*walAdmit       // in log order
+	lastSeq uint64
+	torn    bool // the log ended in a torn/corrupt record that was truncated
+}
+
+// readWALRecordAt reads and validates the single record starting at off.
+func readWALRecordAt(f io.ReaderAt, off, size int64) (typ byte, seq uint64, payload []byte, end int64, err error) {
+	if size-off < walHeaderSize {
+		return 0, 0, nil, 0, fmt.Errorf("%w: %d bytes at offset %d, header needs %d",
+			ErrWAL, size-off, off, walHeaderSize)
+	}
+	hdr := make([]byte, walHeaderSize)
+	if _, err := f.ReadAt(hdr, off); err != nil {
+		return 0, 0, nil, 0, err
+	}
+	// Validate magic and declared length from the header alone, so the full
+	// read is sized without trusting a corrupt length field.
+	if string(hdr[:4]) != walMagic {
+		return 0, 0, nil, 0, fmt.Errorf("%w: magic %q at offset %d", ErrWAL, hdr[:4], off)
+	}
+	plen := int64(binary.LittleEndian.Uint32(hdr[5:9]))
+	if plen <= 0 || plen > walMaxPayload || off+walHeaderSize+plen > size {
+		return 0, 0, nil, 0, fmt.Errorf("%w: record at offset %d truncated or corrupt", ErrWAL, off)
+	}
+	rec := make([]byte, walHeaderSize+plen)
+	if _, err := f.ReadAt(rec, off); err != nil {
+		return 0, 0, nil, 0, err
+	}
+	typ, seq, payload, n, err := parseWALRecord(rec)
+	if err != nil {
+		return 0, 0, nil, 0, err
+	}
+	return typ, seq, payload, off + int64(n), nil
+}
+
+// scanWALFile extracts the recovered state and the end of the intact prefix.
+func scanWALFile(f *os.File, dir string) (*walRecovered, int64, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	size := fi.Size()
+
+	typ, seq, payload, metaEnd, err := readWALRecordAt(f, 0, size)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fldist: WAL meta record: %w", err)
+	}
+	if typ != walRecMeta {
+		return nil, 0, fmt.Errorf("%w: first record type %d, want meta", ErrWAL, typ)
+	}
+	meta, err := parseWALMeta(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	st := &walRecovered{meta: meta, lastSeq: seq}
+
+	// The idx pins the oldest in-window commit; trust it only if a commit
+	// record actually parses there, otherwise fall back to the full scan.
+	scanStart := metaEnd
+	if idx, ierr := readWALIdx(dir); ierr == nil && len(idx) > 0 {
+		off := idx[0].off
+		if off >= metaEnd && off < size {
+			if t, _, _, _, rerr := readWALRecordAt(f, off, size); rerr == nil && t == walRecCommit {
+				scanStart = off
+			}
+		}
+	}
+
+	end, err := scanWALFrom(f, st, scanStart, size)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(st.commits) == 0 && scanStart != metaEnd {
+		// A stale or lying idx pointed past the intact prefix; rescan from
+		// the top before declaring the log commitless.
+		st.commits, st.admits, st.torn = nil, nil, false
+		st.lastSeq = seq
+		if end, err = scanWALFrom(f, st, metaEnd, size); err != nil {
+			return nil, 0, err
+		}
+	}
+	return st, end, nil
+}
+
+// scanWALFrom forward-scans records in [start, size), accumulating into st,
+// and returns the offset where the intact prefix ends.
+func scanWALFrom(f *os.File, st *walRecovered, start, size int64) (int64, error) {
+	buf := make([]byte, size-start)
+	if _, err := f.ReadAt(buf, start); err != nil && err != io.EOF {
+		return 0, err
+	}
+	off := start
+	rest := buf
+	for len(rest) > 0 {
+		typ, seq, payload, n, err := parseWALRecord(rest)
+		if err != nil {
+			// Torn final record (crash mid-append) or trailing corruption:
+			// the intact prefix ends here.
+			st.torn = true
+			break
+		}
+		switch typ {
+		case walRecCommit:
+			c, cerr := parseWALCommit(payload)
+			if cerr != nil {
+				st.torn = true
+				return off, nil
+			}
+			st.commits = append(st.commits, walRecCommitPos{c: c, off: off})
+		case walRecAdmit:
+			a, aerr := parseWALAdmit(payload)
+			if aerr != nil {
+				st.torn = true
+				return off, nil
+			}
+			a.seq = seq
+			st.admits = append(st.admits, a)
+		case walRecMeta, walRecEdgeBatch:
+			// A second meta record or an edge record inside a server log is
+			// not something this writer produces; stop at it.
+			st.torn = true
+			return off, nil
+		default:
+			// Unknown record type from a newer writer: stop, recover the
+			// prefix this version understands.
+			st.torn = true
+			return off, nil
+		}
+		if seq > st.lastSeq {
+			st.lastSeq = seq
+		}
+		off += int64(n)
+		rest = rest[n:]
+	}
+	return off, nil
+}
+
+// openWALForRecovery locks dir, scans the log, truncates any torn tail, and
+// returns the log opened for further appends plus the recovered state.
+func openWALForRecovery(dir string) (*wal, *walRecovered, error) {
+	lf, err := lockWALDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walLogName), os.O_RDWR, 0)
+	if err != nil {
+		lf.Close()
+		return nil, nil, err
+	}
+	st, end, err := scanWALFile(f, dir)
+	if err == nil && st.torn {
+		err = f.Truncate(end)
+	}
+	if err == nil {
+		_, err = f.Seek(end, io.SeekStart)
+	}
+	if err != nil {
+		f.Close()
+		lf.Close()
+		return nil, nil, err
+	}
+	w := newWAL(dir, f, lf, st.meta, WALSyncCommit)
+	w.off = end
+	w.nextSeq = st.lastSeq + 1
+	w.writeSeq = st.lastSeq + 1
+	for _, c := range st.commits {
+		w.idx = append(w.idx, walIdxEntry{round: c.c.round, off: c.off})
+	}
+	if len(w.idx) > w.keep {
+		w.idx = w.idx[len(w.idx)-w.keep:]
+	}
+	w.commits.Store(int64(len(st.commits)))
+	if n := len(st.commits); n > 0 {
+		w.lastRound.Store(int64(st.commits[n-1].c.round))
+	}
+	return w, st, nil
+}
+
+// RecoverServer rebuilds a parameter server from the write-ahead log in dir:
+// the model resumes at the last intact commit, buffered-mode admissions
+// logged after it re-enter the buffer, and the log stays open for the
+// recovered server's own appends. The aggregation mode, commit threshold and
+// staleness window come from the log's meta record; opts may tune the
+// runtime-only settings (shards, sync policy) but not the aggregation mode.
+// It returns ErrWALLocked while another live process holds the log — see
+// Handoff for waiting that out.
+func RecoverServer(dir string, opts ...ServerOption) (*Server, error) {
+	w, st, err := openWALForRecovery(dir)
+	if err != nil {
+		return nil, err
+	}
+	s, err := serverFromWAL(w, st, opts)
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Handoff blocks until the process currently holding the WAL in dir releases
+// it (exits, crashes, or closes the server), then recovers and returns the
+// server — the live-handoff path: start the successor with Handoff, stop the
+// incumbent, and the federation resumes at its last commit with no state
+// lost. The flock on wal.lock is the transfer token; the kernel releases it
+// on any process death, so a crashed incumbent hands off exactly like a
+// graceful one.
+func Handoff(ctx context.Context, dir string, opts ...ServerOption) (*Server, error) {
+	for {
+		s, err := RecoverServer(dir, opts...)
+		if !errors.Is(err, ErrWALLocked) {
+			return s, err
+		}
+		if !sleepCtx(ctx, 50*time.Millisecond) {
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// serverFromWAL builds the recovered server from scanned state.
+func serverFromWAL(w *wal, st *walRecovered, opts []ServerOption) (*Server, error) {
+	m := st.meta
+	if len(st.commits) == 0 {
+		return nil, fmt.Errorf("fldist: WAL in %s has no intact commit record", w.dir)
+	}
+	var cfg serverConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.walDir != "" {
+		return nil, errors.New("fldist: WithWAL is implicit in RecoverServer")
+	}
+	if cfg.bufferK != 0 || cfg.maxStale != 0 {
+		return nil, errors.New("fldist: aggregation mode is fixed by the WAL meta record")
+	}
+	w.policy = cfg.walSync
+
+	last := st.commits[len(st.commits)-1]
+	if len(last.c.params) != m.nParams || len(last.c.bn) != m.nBN {
+		return nil, fmt.Errorf("%w: commit shape (%d,%d) does not match meta (%d,%d)",
+			ErrWAL, len(last.c.params), len(last.c.bn), m.nParams, m.nBN)
+	}
+	R := last.c.round
+
+	all := []ServerOption{WithShards(cfg.shards)}
+	if m.async {
+		all = append(all, WithBufferedAggregation(m.quorumOrK, m.maxStale))
+	}
+	s := NewServer(last.c.params, last.c.bn, max(m.quorumOrK, 1), all...)
+	if cfg.warnf != nil {
+		s.warnf = cfg.warnf
+	}
+	cur := &snapshot{
+		round:  R,
+		params: append([]float64(nil), last.c.params...),
+		bn:     append([]float64(nil), last.c.bn...),
+	}
+	s.model.Store(cur)
+
+	// Downlink error-feedback residuals of the last commit: the EF chain of
+	// each served codec variant continues bit-stably across the restart.
+	for _, v := range last.c.downErr {
+		if len(v.residual) != m.nParams {
+			return nil, fmt.Errorf("%w: variant residual length %d, want %d", ErrWAL, len(v.residual), m.nParams)
+		}
+		nc, nerr := v.comp.normalize()
+		if nerr != nil {
+			return nil, fmt.Errorf("%w: variant codec: %v", ErrWAL, nerr)
+		}
+		s.downErr[nc] = append([]float64(nil), v.residual...)
+	}
+
+	// Retained rounds inside the staleness window, so post-recovery raw
+	// pushes against an older base still reconstruct. Served codec bodies
+	// are not persisted — they are rebuilt on demand: frame-form replay
+	// below rebuilds the variants the buffered pushes decoded against
+	// (servedBaseForReplay); a stale delta push for a variant nothing
+	// rebuilt answers 409 and its client re-pulls — a liveness, not a
+	// correctness, cost. docs/ARCHITECTURE.md.
+	if m.async {
+		for _, cp := range st.commits[:len(st.commits)-1] {
+			if cp.c.round >= R-m.maxStale {
+				s.history[cp.c.round] = &roundState{
+					snap: &snapshot{
+						round:  cp.c.round,
+						params: append([]float64(nil), cp.c.params...),
+						bn:     append([]float64(nil), cp.c.bn...),
+					},
+					served: map[Compression]*servedModel{},
+				}
+			}
+		}
+
+		// Re-mark the dedup horizon for every in-window admission — committed
+		// or not — so a client retrying an already-counted push after the
+		// restart is still answered idempotently, never double-counted. Then
+		// replay the admissions of the round in flight (admitted after the
+		// last commit) into the buffer: delta form as (delta, zero-base)
+		// contributions, frame form through the live handler's own decode
+		// against the served base rebuilt from the base round's commit record.
+		commitAt := make(map[int]*walCommit, len(st.commits))
+		for i := range st.commits {
+			commitAt[st.commits[i].c.round] = &st.commits[i].c
+		}
+		zeroP := make([]float64, m.nParams)
+		zeroBN := make([]float64, m.nBN)
+		for _, a := range st.admits {
+			stale := a.admitRound - a.baseRound
+			if stale < 0 || stale > m.maxStale || a.admitRound > R {
+				return nil, fmt.Errorf("%w: admission (client %d, base %d, at %d) outside window",
+					ErrWAL, a.clientID, a.baseRound, a.admitRound)
+			}
+			if a.baseRound >= R-m.maxStale {
+				set := s.admitted[a.baseRound]
+				if set == nil {
+					set = map[int]bool{}
+					s.admitted[a.baseRound] = set
+				}
+				set[a.clientID] = true
+			}
+			if a.admitRound != R {
+				continue // folded by a later logged commit
+			}
+			if !(a.effW > 0) || math.IsInf(a.effW, 0) {
+				return nil, fmt.Errorf("%w: admission weight %v", ErrWAL, a.effW)
+			}
+			var buf *updateBuf
+			baseP, baseBN := zeroP, zeroBN
+			if len(a.frames) > 0 {
+				sm, b, err := s.replayFrameAdmit(a, commitAt, m)
+				if err != nil {
+					return nil, err
+				}
+				buf, baseP, baseBN = b, sm.params, sm.bn
+			} else {
+				if len(a.dp) != m.nParams || len(a.db) != m.nBN {
+					return nil, fmt.Errorf("%w: admission delta shape (%d,%d), want (%d,%d)",
+						ErrWAL, len(a.dp), len(a.db), m.nParams, m.nBN)
+				}
+				buf = s.bufPool.Get().(*updateBuf)
+				copy(buf.params, a.dp)
+				copy(buf.bn, a.db)
+			}
+			s.pendingN++
+			s.pendingW += a.effW
+			s.pendingBufs = append(s.pendingBufs, buf)
+			s.bufferedNow.Add(1)
+			s.stalenessHist[stale].Add(1)
+			if a.comp {
+				s.updatesComp.Add(1)
+			} else {
+				s.updatesRaw.Add(1)
+			}
+			for i := range s.shards {
+				sh := &s.shards[i]
+				sh.add(contrib{clientID: a.clientID, baseRound: a.baseRound, weight: a.effW,
+					vals: buf.params[sh.lo:sh.hi], base: baseP[sh.lo:sh.hi]})
+			}
+			s.bnShard.add(contrib{clientID: a.clientID, baseRound: a.baseRound, weight: a.effW,
+				vals: buf.bn, base: baseBN})
+		}
+		if s.pendingN > 0 {
+			s.oldestAdmit.Store(time.Now().UnixNano())
+		}
+	}
+
+	w.warnf = s.warn
+	s.wal = w
+
+	// A buffer that had already filled when the crash hit (its K-th admission
+	// record landed, its commit record did not) commits now — exactly the
+	// commit the crashed process was about to write. Frame replay has rebuilt
+	// the served variants the buffered pushes decoded against, so the commit
+	// also advances their downlink-EF residuals exactly as the dead process
+	// would have.
+	if s.async && s.pendingN >= s.bufferK {
+		s.commitBuffer()
+	}
+	return s, nil
+}
+
+// replayFrameAdmit re-runs the live delta handler's arithmetic on a
+// frame-form admission record: stream-decode the logged wire frames, add the
+// served base the client pulled (rebuilt if the crash took it), and hand back
+// the reconstructed full vectors plus the base they fold against — exactly
+// the (vals, base) pair registerAsync saw before the crash.
+func (s *Server) replayFrameAdmit(a *walAdmit, commitAt map[int]*walCommit, m walMeta) (*servedModel, *updateBuf, error) {
+	br := bytes.NewReader(a.frames)
+	var pd quant.StreamDecoder
+	if err := pd.Reset(br); err != nil {
+		return nil, nil, fmt.Errorf("%w: admit frames (client %d): %v", ErrWAL, a.clientID, err)
+	}
+	if pd.IsRaw() {
+		return nil, nil, fmt.Errorf("%w: frame-form admit carries a raw params frame", ErrWAL)
+	}
+	comp, err := Compression{Bits: pd.Bits(), Chunk: pd.Chunk()}.normalize()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: admit frames: %v", ErrWAL, err)
+	}
+	if pd.Len() != m.nParams {
+		return nil, nil, fmt.Errorf("%w: admit frames carry %d params, want %d", ErrWAL, pd.Len(), m.nParams)
+	}
+	sm, err := s.servedBaseForReplay(comp, a.baseRound, commitAt)
+	if err != nil {
+		return nil, nil, err
+	}
+	buf := s.bufPool.Get().(*updateBuf)
+	fail := func(err error) (*servedModel, *updateBuf, error) {
+		s.bufPool.Put(buf)
+		return nil, nil, err
+	}
+	off := 0
+	for l := pd.NextLen(); l > 0; l = pd.NextLen() {
+		dst := buf.params[off : off+l]
+		if err := pd.Next(dst); err != nil {
+			return fail(fmt.Errorf("%w: admit params frame: %v", ErrWAL, err))
+		}
+		base := sm.params[off : off+l]
+		for i := range dst {
+			dst[i] = dst[i] + base[i] // bit-for-bit the live handler's add
+		}
+		off += l
+	}
+	var bd quant.StreamDecoder
+	if err := bd.Reset(br); err != nil {
+		return fail(fmt.Errorf("%w: admit bn frame: %v", ErrWAL, err))
+	}
+	if bd.Len() != m.nBN {
+		return fail(fmt.Errorf("%w: admit frames carry %d bn values, want %d", ErrWAL, bd.Len(), m.nBN))
+	}
+	if err := bd.DecodeAll(buf.bn); err != nil {
+		return fail(fmt.Errorf("%w: admit bn frame: %v", ErrWAL, err))
+	}
+	for i := range buf.bn {
+		buf.bn[i] = buf.bn[i] + sm.bn[i]
+	}
+	if br.Len() != 0 {
+		return fail(fmt.Errorf("%w: %d trailing bytes after admit frames", ErrWAL, br.Len()))
+	}
+	return sm, buf, nil
+}
+
+// servedBaseForReplay resolves the served codec variant (c, round) a logged
+// frame-form admission decoded against. The round in flight builds (and
+// publishes) through getServed — the same call the live pull path made, from
+// the same restored entry residuals. A retained older round rebuilds from its
+// commit record: the snapshot plus the variant's entry residual are exactly
+// buildServed's inputs at the time, and buildServed is byte-deterministic, so
+// the rebuilt base is bit-identical to the one the dead process served. The
+// rebuilt variant is published into the round's history, where later
+// admissions of the same variant — and post-recovery stale pushes at these
+// codec parameters — find it like the live server's clients did.
+func (s *Server) servedBaseForReplay(c Compression, round int, commitAt map[int]*walCommit) (*servedModel, error) {
+	if round == s.model.Load().round {
+		sm, err := s.getServed(c, round)
+		if err != nil {
+			return nil, fmt.Errorf("fldist: WAL replay: %w", err)
+		}
+		return sm, nil
+	}
+	rs := s.history[round]
+	cp := commitAt[round]
+	if rs == nil || cp == nil {
+		return nil, fmt.Errorf("%w: no retained commit for admitted base round %d", ErrWAL, round)
+	}
+	if sm := rs.served[c]; sm != nil {
+		return sm, nil
+	}
+	var prevErr []float64
+	for _, v := range cp.downErr {
+		if nc, err := v.comp.normalize(); err == nil && nc == c {
+			prevErr = v.residual
+			break
+		}
+	}
+	sm := s.buildServed(rs.snap, prevErr, c)
+	rs.served[c] = sm
+	return sm, nil
+}

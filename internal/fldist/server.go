@@ -49,6 +49,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"math"
 	"net"
 	"net/http"
@@ -241,6 +242,19 @@ type Server struct {
 
 	// bufPool recycles decoded-update buffers across pushes.
 	bufPool sync.Pool
+
+	// wal, when non-nil, is the open write-ahead log (WithWAL /
+	// RecoverServer): commits and buffered-mode admissions are logged before
+	// they take effect, so a crashed process resumes at its last commit. Set
+	// before serving, never changed.
+	wal *wal
+
+	// warnf receives operational warnings (WAL write failures, lossy
+	// shutdowns); nil means the process log. Set before serving.
+	warnf func(format string, args ...any)
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // servedModel is one round's compressed pull body, its exact client-visible
@@ -334,7 +348,44 @@ func NewServer(initParams, initBN []float64, updatesPerRound int, opts ...Server
 			bn:     make([]float64, len(initBN)),
 		}
 	}
+	s.warnf = cfg.warnf
+	if cfg.walDir != "" {
+		m := walMeta{
+			async:    s.async,
+			maxStale: s.maxStale,
+			nParams:  len(initParams),
+			nBN:      len(initBN),
+		}
+		if s.async {
+			m.quorumOrK = s.bufferK
+		} else {
+			m.quorumOrK = updatesPerRound
+		}
+		w, err := createWAL(cfg.walDir, m, cfg.walSync)
+		if err != nil {
+			panic(fmt.Sprintf("fldist: WAL: %v", err))
+		}
+		w.warnf = s.warn
+		// The initial model is the first commit record: recovery always has
+		// a snapshot to land on, even before any round completes.
+		snap := s.model.Load()
+		if err := w.appendCommit(w.reserve(), walCommit{round: 0, params: snap.params, bn: snap.bn}); err != nil {
+			w.Close()
+			panic(fmt.Sprintf("fldist: WAL initial commit: %v", err))
+		}
+		s.wal = w
+	}
 	return s
+}
+
+// warn reports an operational condition through warnf, defaulting to the
+// process log.
+func (s *Server) warn(format string, args ...any) {
+	if s.warnf != nil {
+		s.warnf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 // Shards returns the number of parameter shards the aggregation plane runs
@@ -710,7 +761,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.finishUpdateAsync(w, u.ClientID, u.Round, u.Weight, buf, false, &s.updatesRaw,
-			base.params, base.bn, start)
+			base.params, base.bn, start, nil)
 		return
 	}
 	s.finishUpdate(w, u.ClientID, u.Round, u.Weight, buf, false, &s.updatesRaw, start)
@@ -762,16 +813,19 @@ func (s *Server) handleDeltaUpdate(w http.ResponseWriter, r *http.Request, start
 	snap := s.model.Load()
 	sc := pushScratchPool.Get().(*pushScratch)
 	sc.cr = countReader{r: r.Body}
-	sc.br.Reset(&sc.cr)
-	br := sc.br
 	defer func() {
 		s.bytesInComp.Add(sc.cr.n)
 		sc.br.Reset(nil) // drop the request body reference before pooling
 		pushScratchPool.Put(sc)
 	}()
 
+	// The envelope header is read straight off the body, not through the
+	// buffered reader: with a WAL attached the frame bytes after it are teed
+	// into the admission capture, and the tee must see every byte the
+	// decoders consume — bufio read-ahead that started before the tee would
+	// smuggle frame bytes past it.
 	var hdr [21]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+	if _, err := io.ReadFull(&sc.cr, hdr[:]); err != nil {
 		http.Error(w, fmt.Sprintf("fldist: update envelope header: %v", err), http.StatusBadRequest)
 		return
 	}
@@ -794,6 +848,27 @@ func (s *Server) handleDeltaUpdate(w http.ResponseWriter, r *http.Request, start
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+
+	// With a WAL attached, tee the rest of the body — the wire frames,
+	// verbatim — into a pooled admission capture as the decoders stream it:
+	// the log's frame-form record replays them through this same handler
+	// arithmetic on recovery (recover.go). ~50µs of memcpy for an 8-bit
+	// frame, against the ~ms of delta capture and raw-frame encode the
+	// delta-form record would cost on the same push. Speculative: rejected
+	// pushes release the capture unwritten.
+	var wrec *walAdmit
+	src := io.Reader(&sc.cr)
+	if s.async && s.wal != nil {
+		wrec = s.wal.newAdmit()
+		defer func() {
+			if wrec != nil {
+				s.wal.releaseAdmit(wrec)
+			}
+		}()
+		src = io.TeeReader(src, appendWriter{&wrec.frames})
+	}
+	sc.br.Reset(src)
+	br := sc.br
 
 	dec := &sc.pd
 	if err := dec.Reset(br); err != nil {
@@ -886,11 +961,22 @@ func (s *Server) handleDeltaUpdate(w http.ResponseWriter, r *http.Request, start
 		return
 	}
 	if s.async {
+		rec := wrec
+		wrec = nil // ownership passes; finishUpdateAsync releases on rejection
 		s.finishUpdateAsync(w, clientID, round, weight, buf, true, &s.updatesComp,
-			sm.params, sm.bn, start)
+			sm.params, sm.bn, start, rec)
 		return
 	}
 	s.finishUpdate(w, clientID, round, weight, buf, true, &s.updatesComp, start)
+}
+
+// appendWriter is the tee target of the delta handler's WAL capture: an
+// io.Writer appending into a pooled byte slice.
+type appendWriter struct{ b *[]byte }
+
+func (w appendWriter) Write(p []byte) (int, error) {
+	*w.b = append(*w.b, p...)
+	return len(p), nil
 }
 
 // checkWeight rejects non-positive and non-finite FedAvg weights. NaN
@@ -1007,9 +1093,13 @@ func (s *Server) finishUpdate(w http.ResponseWriter, clientID, round int, weight
 // snapshot or served model — immutable either way); each shard keeps its
 // range of them so the commit can fold the update as a delta. It returns the
 // outcome plus the round the registry observed, so a quorum-full caller can
-// wait out the in-flight commit and retry.
+// wait out the in-flight commit and retry. wrec, when non-nil, is the
+// update's WAL capture (delta already computed by the caller, outside any
+// lock): on admission its sequence number is reserved here — inside pendMu,
+// where logical order is decided, so the log's file order matches admission
+// order — along with the observed round and effective weight.
 func (s *Server) registerAsync(clientID, baseRound int, weight float64, buf *updateBuf,
-	pooled bool, baseP, baseBN []float64) (registerOutcome, int) {
+	pooled bool, baseP, baseBN []float64, wrec *walAdmit) (registerOutcome, int) {
 	s.pendMu.Lock()
 	defer s.pendMu.Unlock()
 	snap := s.model.Load()
@@ -1063,6 +1153,11 @@ func (s *Server) registerAsync(clientID, baseRound int, weight float64, buf *upd
 	s.pendingW += effW
 	s.bufferedNow.Add(1)
 	s.stalenessHist[stale].Add(1)
+	if wrec != nil {
+		wrec.seq = s.wal.reserve()
+		wrec.admitRound = snap.round
+		wrec.effW = effW
+	}
 	if !s.manual && s.pendingN == s.bufferK {
 		return regAdmittedLast, snap.round
 	}
@@ -1075,9 +1170,31 @@ func (s *Server) registerAsync(clientID, baseRound int, weight float64, buf *upd
 // waits the commit out and retries — the update may still be admissible one
 // round later — instead of answering a premature 409.
 func (s *Server) finishUpdateAsync(w http.ResponseWriter, clientID, baseRound int, weight float64,
-	buf *updateBuf, pooled bool, counter *atomic.Int64, baseP, baseBN []float64, start time.Time) {
+	buf *updateBuf, pooled bool, counter *atomic.Int64, baseP, baseBN []float64, start time.Time,
+	wrec *walAdmit) {
+	// With a WAL attached and no wire-frame capture teed off by the caller
+	// (the raw-gob path has no frames to tee), capture the update's delta
+	// against its base here — outside every lock, while this handler still
+	// owns buf — so the log can replay the contribution bit-identically as
+	// (delta, zero base): the fold only ever consumes weight·(vals−base),
+	// and vals−0 ≡ delta. Speculative on the rare non-admitted outcomes; the
+	// capture is pooled either way.
+	if s.wal != nil && wrec == nil {
+		wrec = s.wal.newAdmit()
+		if wrec.dp == nil {
+			wrec.dp = make([]float64, len(baseP))
+			wrec.db = make([]float64, len(baseBN))
+		}
+		subVec(wrec.dp, buf.params, baseP)
+		subVec(wrec.db, buf.bn, baseBN)
+	}
+	if wrec != nil {
+		wrec.clientID = clientID
+		wrec.baseRound = baseRound
+		wrec.comp = pooled
+	}
 	for {
-		outcome, observed := s.registerAsync(clientID, baseRound, weight, buf, pooled, baseP, baseBN)
+		outcome, observed := s.registerAsync(clientID, baseRound, weight, buf, pooled, baseP, baseBN, wrec)
 		switch outcome {
 		case regQuorumFull:
 			s.awaitRoundAdvance(observed)
@@ -1091,6 +1208,9 @@ func (s *Server) finishUpdateAsync(w http.ResponseWriter, clientID, baseRound in
 				if pooled {
 					s.bufPool.Put(buf)
 				}
+				if wrec != nil {
+					s.wal.releaseAdmit(wrec)
+				}
 				w.Header().Set(retryHeader, "1")
 				http.Error(w, fmt.Sprintf("round %d commit still in flight, retry", observed),
 					http.StatusConflict)
@@ -1100,6 +1220,9 @@ func (s *Server) finishUpdateAsync(w http.ResponseWriter, clientID, baseRound in
 		case regStale:
 			if pooled {
 				s.bufPool.Put(buf)
+			}
+			if wrec != nil {
+				s.wal.releaseAdmit(wrec)
 			}
 			s.rejectStale(w, baseRound)
 			return
@@ -1111,6 +1234,9 @@ func (s *Server) finishUpdateAsync(w http.ResponseWriter, clientID, baseRound in
 			if pooled {
 				s.bufPool.Put(buf)
 			}
+			if wrec != nil {
+				s.wal.releaseAdmit(wrec)
+			}
 			w.Header().Set(retryHeader, "1")
 			http.Error(w, "update buffer full, retry", http.StatusConflict)
 			return
@@ -1118,12 +1244,22 @@ func (s *Server) finishUpdateAsync(w http.ResponseWriter, clientID, baseRound in
 			if pooled {
 				s.bufPool.Put(buf)
 			}
+			if wrec != nil {
+				s.wal.releaseAdmit(wrec)
+			}
 			w.Header().Set("X-Fldist-Duplicate", "1")
 			w.WriteHeader(http.StatusOK)
 			return
 		}
 		counter.Add(1)
 		s.admitLat.record(time.Since(start))
+		if wrec != nil {
+			// Write this admission's record before a possible commit: the
+			// commit record's ordered append waits for every earlier
+			// sequence number, ours included, and this goroutine is the one
+			// that runs the commit below.
+			_ = s.wal.appendAdmit(wrec) // failure warns once and sticks; serving continues
+		}
 		if outcome == regAdmittedLast {
 			s.commitBuffer()
 		}
@@ -1183,6 +1319,9 @@ func (s *Server) advanceRound() {
 	s.serveGen++
 
 	s.pendMu.Lock()
+	if s.wal != nil {
+		s.logCommitLocked(next)
+	}
 	s.model.Store(next)
 	clear(s.pendingIDs)
 	s.resetPendingLocked()
@@ -1190,6 +1329,28 @@ func (s *Server) advanceRound() {
 	s.serveMu.Unlock()
 
 	s.roundsCompleted.Add(1)
+}
+
+// logCommitLocked appends the commit record — the new snapshot plus the
+// downlink error-feedback residual of every codec variant carried forward —
+// to the WAL, before the snapshot is published: log-then-publish is what
+// makes a served round always recoverable. Caller holds serveMu and pendMu
+// (the reservation under pendMu orders the record after every admission it
+// folded; the record's fsync seals them all). A write failure warns once and
+// degrades the server to in-memory durability; it never blocks the commit.
+func (s *Server) logCommitLocked(next *snapshot) {
+	c := walCommit{round: next.round, params: next.params, bn: next.bn}
+	for comp, res := range s.downErr {
+		c.downErr = append(c.downErr, walVariantErr{comp: comp, residual: res})
+	}
+	_ = s.wal.appendCommit(s.wal.reserve(), c)
+}
+
+// subVec writes a−b into dst, element-wise.
+func subVec(dst, a, b []float64) {
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
 }
 
 // collectServedLocked gathers the codec variants actually built for the
@@ -1315,6 +1476,9 @@ func (s *Server) commitBuffer() {
 	s.retireRoundLocked(old, next.round)
 
 	s.pendMu.Lock()
+	if s.wal != nil {
+		s.logCommitLocked(next)
+	}
 	s.model.Store(next)
 	for r := range s.admitted {
 		if r < next.round-s.maxStale {
@@ -1364,6 +1528,9 @@ func (s *Server) Stats() Stats {
 		PullP99Micros:      pullP99,
 		ServedBuilds:       s.servedBuilds.Load(),
 	}
+	if s.wal != nil {
+		st.WAL = s.wal.stats()
+	}
 	if s.async {
 		b := &BufferedStats{
 			BufferSize:    s.bufferK,
@@ -1408,8 +1575,10 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 }
 
 // Serve runs the parameter server on an existing listener until ctx is
-// canceled, then shuts down gracefully. The listener is closed on return.
+// canceled, then shuts down gracefully. The listener is closed on return,
+// and so is the server (Close — the WAL is released for a successor).
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	defer s.Close()
 	hs := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -1425,4 +1594,40 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case err := <-errc:
 		return fmt.Errorf("fldist: serve: %w", err)
 	}
+}
+
+// Close releases the server's durable resources (the WAL and its lock — the
+// handoff signal for a waiting successor) and accounts for what a stop at
+// this instant abandons: a non-empty admission buffer is work clients
+// already got a 200 for. With a WAL in buffered mode every such update is in
+// the log and RecoverServer replays it; in every other configuration the
+// buffered state dies with the process and the close warns with the count,
+// so operators can tell a clean drain from a lossy stop. Serve calls Close
+// on the way out; call it directly when the handlers are mounted on an
+// external mux. Idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.pendMu.Lock()
+		n := s.pendingN
+		s.pendMu.Unlock()
+		if n > 0 {
+			switch {
+			case s.wal != nil && s.async:
+				logged := s.wal.uncommitted.Load()
+				if logged == int64(n) {
+					s.warn("fldist: closing with %d buffered update(s) uncommitted — all logged; RecoverServer replays them", n)
+				} else {
+					s.warn("fldist: closing with %d buffered update(s) uncommitted but only %d in the WAL (write failures?) — the missing ones are lost; their clients must re-push", n, logged)
+				}
+			case s.wal != nil:
+				s.warn("fldist: closing with %d update(s) of an unfilled quorum — sync mode logs commits only; their clients must re-push after recovery", n)
+			default:
+				s.warn("fldist: closing with %d buffered update(s) pending and no WAL — they are lost; their clients must re-push", n)
+			}
+		}
+		if s.wal != nil {
+			s.closeErr = s.wal.Close()
+		}
+	})
+	return s.closeErr
 }

@@ -176,6 +176,9 @@ type serverConfig struct {
 	shards   int
 	bufferK  int
 	maxStale int
+	walDir   string
+	walSync  WALSyncPolicy
+	warnf    func(format string, args ...any)
 }
 
 // maxStalenessLimit bounds the buffered-mode staleness window: the server
@@ -212,6 +215,32 @@ type ServerOption func(*serverConfig)
 // default (GOMAXPROCS, capped at 64).
 func WithShards(n int) ServerOption {
 	return func(c *serverConfig) { c.shards = n }
+}
+
+// WithWAL makes the server crash-safe: every commit's snapshot (and, in
+// buffered mode, every admission between commits) is appended to a
+// write-ahead log in dir before it takes effect, so a process that dies —
+// SIGKILL included — resumes the federation at its last commit via
+// RecoverServer (or hands it to a live successor via Handoff). The dir must
+// not already hold a WAL; NewServer panics otherwise (recovery, not
+// re-creation, is the path there — cmd/fldist switches on WALExists). See
+// docs/ARCHITECTURE.md ("Durability") for the record format, fsync policy
+// and recovery guarantees.
+func WithWAL(dir string) ServerOption {
+	return func(c *serverConfig) { c.walDir = dir }
+}
+
+// WithWALSyncPolicy tunes when the WAL fsyncs (default WALSyncCommit:
+// commits are power-loss durable, admissions process-crash durable). Only
+// meaningful together with WithWAL, or as a RecoverServer option.
+func WithWALSyncPolicy(p WALSyncPolicy) ServerOption {
+	return func(c *serverConfig) { c.walSync = p }
+}
+
+// withWarnf routes the server's operational warnings (WAL write failures,
+// lossy shutdowns) somewhere other than the process log. Test seam.
+func withWarnf(f func(format string, args ...any)) ServerOption {
+	return func(c *serverConfig) { c.warnf = f }
 }
 
 // resolveShards clamps the configured shard count against the model size.

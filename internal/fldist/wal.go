@@ -1,0 +1,996 @@
+package fldist
+
+// The write-ahead log behind WithWAL: everything a restarted (or taking-over)
+// process needs to resume the federation at the last commit — committed
+// snapshots, buffered-mode admission deltas, and the downlink error-feedback
+// residuals per served codec variant — appended as CRC-guarded FWL1 records.
+// recover.go holds the replay side; docs/ARCHITECTURE.md ("Durability") the
+// format and the determinism argument.
+//
+// Durability contract: a commit record is written before the commit's
+// snapshot is published to any client, and every admission record the commit
+// folded precedes it in the file — so a recoverable commit always has its
+// full input history. A process crash (SIGKILL) loses nothing: the kernel
+// holds the written pages. Against power loss, the default WALSyncCommit
+// policy group-commits: a background goroutine fsyncs after commit records,
+// rate-limited to one fsync per walGroupSyncEvery (each fsync seals every
+// record before it, so commits become power-durable within that interval
+// without ever stalling admissions on device latency — an fsync's writeback
+// contends with concurrent appends through the filesystem journal, so pacing
+// it is what keeps the log off the admission path's critical budget). If
+// power fails inside the window, recovery resumes from the last fsynced
+// commit plus the admissions logged after it — the same torn-tail case it
+// already handles. WALSyncAlways makes every record synchronously durable
+// instead.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"fedprophet/internal/quant"
+)
+
+const (
+	walMagic      = "FWL1"
+	walVersion    = 1
+	walHeaderSize = 21 // magic(4) + type(1) + payload len(4) + seq(8) + crc32c(4)
+
+	// walMaxPayload bounds a record's declared payload length before anything
+	// trusts it: record headers read back from disk are as attacker-controlled
+	// as wire bytes (a corrupted length must not drive an allocation).
+	walMaxPayload = 1 << 30
+
+	walLogName  = "wal.log"
+	walIdxName  = "wal.idx"
+	walLockName = "wal.lock"
+)
+
+// walGroupSyncEvery paces the WALSyncCommit background fsync: at most one
+// fsync starts per interval, coalescing every commit that lands in between.
+// The power-loss exposure window is bounded by this interval plus one device
+// flush; shrinking it buys tighter durability at the price of more journal
+// contention with concurrent appends (see the durability contract above).
+const walGroupSyncEvery = 100 * time.Millisecond
+
+// Record types. The meta record is always first in the file; commit records
+// carry full snapshots; admit records the buffered-mode admissions between
+// commits; the edge batch record is the single-slot parked-push file an Edge
+// keeps (edge.go), reusing the same framing.
+const (
+	walRecMeta      byte = 1
+	walRecCommit    byte = 2
+	walRecAdmit     byte = 3
+	walRecEdgeBatch byte = 4
+)
+
+// ErrWAL is the sentinel wrapped by every WAL decode error, mirroring
+// quant.ErrCodec's corruption contract: structurally bad bytes — wrong magic,
+// bad CRC, truncated or zero or oversized length — yield an error, never a
+// panic, and callers distinguish corruption from IO failures with errors.Is.
+var ErrWAL = errors.New("fldist: bad WAL record")
+
+// ErrWALLocked reports that another live process holds the WAL (the flock on
+// wal.lock is held). Handoff waits this state out; RecoverServer refuses it.
+var ErrWALLocked = errors.New("fldist: WAL held by another process")
+
+// walCRC is the Castagnoli table; CRC32C has hardware support on the
+// platforms this serves from.
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// WALSyncPolicy picks when the log fsyncs.
+type WALSyncPolicy int
+
+const (
+	// WALSyncCommit (the default) fsyncs after commit records only, on a
+	// background goroutine rate-limited to one fsync per walGroupSyncEvery
+	// (group commit): a commit is durable against power loss once its fsync
+	// lands — within the pacing interval plus one device flush — without
+	// stalling admissions on device latency or journal contention. Admission
+	// records between commits ride the page cache until the next fsync seals
+	// them.
+	WALSyncCommit WALSyncPolicy = iota
+	// WALSyncAlways fsyncs every record.
+	WALSyncAlways
+	// WALSyncNone never fsyncs; the OS flushes on its own schedule. Still
+	// recovers everything written before a process crash (the kernel holds
+	// the pages), but not necessarily before a power loss.
+	WALSyncNone
+)
+
+// walFile is the sink a WAL writes through — *os.File in production, wrapped
+// by the crash-injection tests to fail, short-write, or truncate at exact
+// record boundaries (crashtest_test.go).
+type walFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// walWrapFile, when non-nil, wraps every freshly opened WAL log file. Test
+// seam for fault injection; set only by tests in this package, never in
+// production.
+var walWrapFile func(walFile) walFile
+
+// walMeta is the configuration fingerprint the meta record pins: recovery
+// rebuilds a server equivalent to the one that wrote the log, and refuses a
+// log whose shape does not match the stored model.
+type walMeta struct {
+	async     bool
+	quorumOrK int // updatesPerRound (sync) or bufferK (buffered)
+	maxStale  int
+	nParams   int
+	nBN       int
+}
+
+// walVariantErr is one codec variant's downlink error-feedback residual
+// inside a commit record, keyed by its normalized compression parameters.
+type walVariantErr struct {
+	comp     Compression
+	residual []float64
+}
+
+// walCommit is a commit record's logical content: the committed snapshot and
+// the downlink EF residuals of every variant served in the retiring round.
+type walCommit struct {
+	round   int
+	params  []float64
+	bn      []float64
+	downErr []walVariantErr
+}
+
+// walAdmit is one buffered-mode admission, captured in one of two forms:
+//
+// Delta form (raw-gob pushes): the update's *delta* against its base
+// (vals − base), computed at admission. The commit fold only ever consumes
+// weight·(vals−base) per element, so replaying the contribution as
+// (delta, zero-base) feeds the identical difference into the identical fold —
+// without persisting any base vector.
+//
+// Frame form (compressed pushes): the client's wire frames, verbatim — the
+// quantized params frame and the raw BN frame exactly as they crossed the
+// network. Replay re-runs the handler's own path — stream-decode, add the
+// served base the client pulled, fold as (vals, base) — against a base that
+// recovery rebuilds deterministically from the base round's commit record
+// (snapshot + entry residual), so the arithmetic is bit-for-bit the live
+// handler's. An 8-bit frame is ~8× smaller than its raw delta, which is what
+// keeps the per-admission log cost off the admission path's critical budget.
+type walAdmit struct {
+	seq        uint64
+	admitRound int // the round the registry observed at admission
+	baseRound  int
+	clientID   int
+	comp       bool // stats attribution only: arrived via the compressed path
+	effW       float64
+	dp, db     []float64 // delta form: delta params / delta BN
+	frames     []byte    // frame form (len > 0): params frame ++ bn frame, wire bytes
+	enc        []byte    // record scratch, reused across admissions
+}
+
+// walEdgeBatch is an edge's parked upstream batch (edge.go): everything a
+// restarted edge needs to re-push with the batch's original dedup identity —
+// the already-rebased payload, its base round, and the base vectors a
+// staleness-409 rebase needs.
+type walEdgeBatch struct {
+	pushID   int
+	pushSeq  int // e.pushSeq after this batch drew its ID
+	baseRnd  int
+	weight   float64
+	updates  int
+	payloadP []float64
+	payloadB []float64
+	baseP    []float64
+	baseBN   []float64
+}
+
+// ---- record framing --------------------------------------------------------
+
+// appendWALRecord frames one record onto dst:
+//
+//	magic "FWL1" | type u8 | payload len u32 | seq u64 | crc32c u32 | payload
+//
+// little-endian throughout; the CRC covers type, length, seq and payload, so
+// a flipped bit anywhere but the magic fails the checksum (and a flipped
+// magic fails the magic check).
+func appendWALRecord(dst []byte, typ byte, seq uint64, payload []byte) []byte {
+	start := len(dst)
+	dst = reserveWALHeader(dst)
+	dst = append(dst, payload...)
+	finishWALRecord(dst, start, typ, seq)
+	return dst
+}
+
+// reserveWALHeader appends a zeroed record header to dst. The caller appends
+// the payload in place behind it and then seals the record with
+// finishWALRecord — the in-place path the hot appenders use to avoid staging
+// a model-sized payload in a second buffer just to copy it into the frame.
+func reserveWALHeader(dst []byte) []byte {
+	var hdr [walHeaderSize]byte
+	return append(dst, hdr[:]...)
+}
+
+// finishWALRecord stamps the header reserved at b[start:] — everything past
+// it is the payload — filling magic, type, payload length, seq and the CRC.
+func finishWALRecord(b []byte, start int, typ byte, seq uint64) {
+	plen := len(b) - start - walHeaderSize
+	if plen <= 0 || plen > walMaxPayload {
+		panic(fmt.Sprintf("fldist: WAL record payload %d bytes outside (0,%d]", plen, walMaxPayload))
+	}
+	h := b[start : start+walHeaderSize]
+	copy(h, walMagic)
+	h[4] = typ
+	binary.LittleEndian.PutUint32(h[5:9], uint32(plen))
+	binary.LittleEndian.PutUint64(h[9:17], seq)
+	crc := crc32.Update(0, walCRC, h[4:17])
+	crc = crc32.Update(crc, walCRC, b[start+walHeaderSize:])
+	binary.LittleEndian.PutUint32(h[17:21], crc)
+}
+
+// parseWALRecord parses the record at the head of b, returning its type, seq,
+// payload (aliasing b) and total encoded size. Every structural violation —
+// short buffer, wrong magic, zero or oversized declared length, truncated
+// payload, CRC mismatch — returns an error wrapping ErrWAL; no input panics.
+// Recovery treats any such error at the tail of the log as a torn final
+// record (the crash hit mid-append) and recovers the intact prefix.
+func parseWALRecord(b []byte) (typ byte, seq uint64, payload []byte, size int, err error) {
+	if len(b) < walHeaderSize {
+		return 0, 0, nil, 0, fmt.Errorf("%w: %d bytes, header needs %d", ErrWAL, len(b), walHeaderSize)
+	}
+	if string(b[:4]) != walMagic {
+		return 0, 0, nil, 0, fmt.Errorf("%w: magic %q, want %q", ErrWAL, b[:4], walMagic)
+	}
+	typ = b[4]
+	plen := int(binary.LittleEndian.Uint32(b[5:9]))
+	if plen == 0 {
+		return 0, 0, nil, 0, fmt.Errorf("%w: zero-length record", ErrWAL)
+	}
+	if plen > walMaxPayload {
+		return 0, 0, nil, 0, fmt.Errorf("%w: declared payload %d exceeds cap %d", ErrWAL, plen, walMaxPayload)
+	}
+	if len(b) < walHeaderSize+plen {
+		return 0, 0, nil, 0, fmt.Errorf("%w: payload truncated: have %d of %d bytes",
+			ErrWAL, len(b)-walHeaderSize, plen)
+	}
+	seq = binary.LittleEndian.Uint64(b[9:17])
+	payload = b[walHeaderSize : walHeaderSize+plen]
+	crc := crc32.Update(0, walCRC, b[4:17])
+	crc = crc32.Update(crc, walCRC, payload)
+	if got := binary.LittleEndian.Uint32(b[17:21]); got != crc {
+		return 0, 0, nil, 0, fmt.Errorf("%w: crc %08x, want %08x", ErrWAL, got, crc)
+	}
+	return typ, seq, payload, walHeaderSize + plen, nil
+}
+
+// ---- payload codecs --------------------------------------------------------
+//
+// Vector payloads are quant raw frames (quant.AppendRaw / DecodeFirst): the
+// same byte-stable float64 framing the wire uses, so a logged snapshot
+// re-encodes to identical bytes and the corruption checks come for free.
+
+func appendWALMeta(dst []byte, m walMeta) []byte {
+	mode := byte(0)
+	if m.async {
+		mode = 1
+	}
+	dst = append(dst, mode)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.quorumOrK))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.maxStale))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.nParams))
+	return binary.LittleEndian.AppendUint32(dst, uint32(m.nBN))
+}
+
+func parseWALMeta(p []byte) (walMeta, error) {
+	if len(p) != 17 {
+		return walMeta{}, fmt.Errorf("%w: meta payload %d bytes, want 17", ErrWAL, len(p))
+	}
+	if p[0] > 1 {
+		return walMeta{}, fmt.Errorf("%w: meta mode %d", ErrWAL, p[0])
+	}
+	return walMeta{
+		async:     p[0] == 1,
+		quorumOrK: int(binary.LittleEndian.Uint32(p[1:5])),
+		maxStale:  int(binary.LittleEndian.Uint32(p[5:9])),
+		nParams:   int(binary.LittleEndian.Uint32(p[9:13])),
+		nBN:       int(binary.LittleEndian.Uint32(p[13:17])),
+	}, nil
+}
+
+func appendWALCommit(dst []byte, c walCommit) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(c.round))
+	dst = quant.AppendRaw(dst, c.params)
+	dst = quant.AppendRaw(dst, c.bn)
+	// Variants in (bits, chunk) order, so a commit's bytes are a pure
+	// function of its logical content (maps iterate randomly).
+	vs := append([]walVariantErr(nil), c.downErr...)
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].comp.Bits != vs[j].comp.Bits {
+			return vs[i].comp.Bits < vs[j].comp.Bits
+		}
+		return vs[i].comp.Chunk < vs[j].comp.Chunk
+	})
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(vs)))
+	for _, v := range vs {
+		dst = append(dst, byte(v.comp.Bits))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(v.comp.Chunk))
+		dst = quant.AppendRaw(dst, v.residual)
+	}
+	return dst
+}
+
+// walFrame pulls one raw quant frame off p, translating codec corruption into
+// the WAL's own sentinel.
+func walFrame(p []byte) ([]float64, []byte, error) {
+	f, rest, err := quant.DecodeFirst(p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: vector frame: %v", ErrWAL, err)
+	}
+	if !f.IsRaw() {
+		return nil, nil, fmt.Errorf("%w: vector frame quantized (bits %d), want raw", ErrWAL, f.Bits)
+	}
+	return f.Raw, rest, nil
+}
+
+func parseWALCommit(p []byte) (walCommit, error) {
+	var c walCommit
+	if len(p) < 4 {
+		return c, fmt.Errorf("%w: commit payload %d bytes", ErrWAL, len(p))
+	}
+	c.round = int(binary.LittleEndian.Uint32(p[:4]))
+	var err error
+	if c.params, p, err = walFrame(p[4:]); err != nil {
+		return c, err
+	}
+	if c.bn, p, err = walFrame(p); err != nil {
+		return c, err
+	}
+	if len(p) < 4 {
+		return c, fmt.Errorf("%w: commit variant count truncated", ErrWAL)
+	}
+	nv := int(binary.LittleEndian.Uint32(p[:4]))
+	p = p[4:]
+	if nv > maxCodecVariants {
+		return c, fmt.Errorf("%w: commit carries %d variants, cap %d", ErrWAL, nv, maxCodecVariants)
+	}
+	for i := 0; i < nv; i++ {
+		if len(p) < 5 {
+			return c, fmt.Errorf("%w: commit variant %d truncated", ErrWAL, i)
+		}
+		v := walVariantErr{comp: Compression{Bits: int(p[0]), Chunk: int(binary.LittleEndian.Uint32(p[1:5]))}}
+		if v.residual, p, err = walFrame(p[5:]); err != nil {
+			return c, err
+		}
+		c.downErr = append(c.downErr, v)
+	}
+	if len(p) != 0 {
+		return c, fmt.Errorf("%w: %d trailing bytes after commit payload", ErrWAL, len(p))
+	}
+	return c, nil
+}
+
+// Admit flag bits. walAdmitFrames selects the frame form: the fixed fields
+// are followed by the push's verbatim wire frames instead of two raw delta
+// frames.
+const (
+	walAdmitComp   byte = 1
+	walAdmitFrames byte = 2
+)
+
+func appendWALAdmit(dst []byte, a *walAdmit) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(a.admitRound))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(a.baseRound))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(a.clientID))
+	flags := byte(0)
+	if a.comp {
+		flags |= walAdmitComp
+	}
+	if len(a.frames) > 0 {
+		flags |= walAdmitFrames
+	}
+	dst = append(dst, flags)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(a.effW))
+	if len(a.frames) > 0 {
+		return append(dst, a.frames...)
+	}
+	dst = quant.AppendRaw(dst, a.dp)
+	return quant.AppendRaw(dst, a.db)
+}
+
+func parseWALAdmit(p []byte) (*walAdmit, error) {
+	if len(p) < 21 {
+		return nil, fmt.Errorf("%w: admit payload %d bytes", ErrWAL, len(p))
+	}
+	a := &walAdmit{
+		admitRound: int(binary.LittleEndian.Uint32(p[:4])),
+		baseRound:  int(binary.LittleEndian.Uint32(p[4:8])),
+		clientID:   int(binary.LittleEndian.Uint32(p[8:12])),
+		comp:       p[12]&walAdmitComp != 0,
+		effW:       math.Float64frombits(binary.LittleEndian.Uint64(p[13:21])),
+	}
+	if flags := p[12]; flags&^(walAdmitComp|walAdmitFrames) != 0 {
+		return nil, fmt.Errorf("%w: admit flags %#x", ErrWAL, flags)
+	}
+	if p[12]&walAdmitFrames != 0 {
+		// Frame form: the rest of the payload is the push's wire frames. Their
+		// internal structure is validated by the replay decoder; the record
+		// CRC already vouches for the bytes.
+		if len(p) == 21 {
+			return nil, fmt.Errorf("%w: frame-form admit with no frame bytes", ErrWAL)
+		}
+		a.frames = p[21:]
+		return a, nil
+	}
+	var err error
+	if a.dp, p, err = walFrame(p[21:]); err != nil {
+		return nil, err
+	}
+	if a.db, p, err = walFrame(p); err != nil {
+		return nil, err
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after admit payload", ErrWAL, len(p))
+	}
+	return a, nil
+}
+
+func appendWALEdgeBatch(dst []byte, b walEdgeBatch) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(b.pushID))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(b.pushSeq))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(b.baseRnd))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(b.updates))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(b.weight))
+	dst = quant.AppendRaw(dst, b.payloadP)
+	dst = quant.AppendRaw(dst, b.payloadB)
+	dst = quant.AppendRaw(dst, b.baseP)
+	return quant.AppendRaw(dst, b.baseBN)
+}
+
+func parseWALEdgeBatch(p []byte) (walEdgeBatch, error) {
+	var b walEdgeBatch
+	if len(p) < 24 {
+		return b, fmt.Errorf("%w: edge batch payload %d bytes", ErrWAL, len(p))
+	}
+	b.pushID = int(binary.LittleEndian.Uint32(p[:4]))
+	b.pushSeq = int(binary.LittleEndian.Uint32(p[4:8]))
+	b.baseRnd = int(binary.LittleEndian.Uint32(p[8:12]))
+	b.updates = int(binary.LittleEndian.Uint32(p[12:16]))
+	b.weight = math.Float64frombits(binary.LittleEndian.Uint64(p[16:24]))
+	var err error
+	if b.payloadP, p, err = walFrame(p[24:]); err != nil {
+		return b, err
+	}
+	if b.payloadB, p, err = walFrame(p); err != nil {
+		return b, err
+	}
+	if b.baseP, p, err = walFrame(p); err != nil {
+		return b, err
+	}
+	if b.baseBN, p, err = walFrame(p); err != nil {
+		return b, err
+	}
+	if len(p) != 0 {
+		return b, fmt.Errorf("%w: %d trailing bytes after edge batch payload", ErrWAL, len(p))
+	}
+	return b, nil
+}
+
+// ---- the log ---------------------------------------------------------------
+
+// walIdxEntry is one retained commit's position in the log.
+type walIdxEntry struct {
+	round int
+	off   int64
+}
+
+// wal is the open write-ahead log. Appends are seq-ordered: a writer reserves
+// its sequence number inside the admission registry's critical section
+// (pendMu), where logical order is decided, then encodes and writes outside
+// it — the cond gate below replays the pendMu order onto the file, so file
+// order always equals admission order and a commit record is always preceded
+// by every admission it folded.
+type wal struct {
+	dir    string
+	f      *os.File
+	sink   walFile // f, possibly wrapped by the fault-injection seam
+	lockF  *os.File
+	policy WALSyncPolicy
+	keep   int // commits retained in the idx (staleness window + 1)
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	nextSeq     uint64
+	writeSeq    uint64
+	off         int64
+	werr        error // sticky first write failure; later appends are refused
+	closed      bool
+	syncPending bool          // a commit landed since the last fsync started
+	closeCh     chan struct{} // closed by Close; wakes the paced fsync sleep
+
+	// commitEnc is the reused commit-record scratch. Commits are single-flight
+	// — logCommitLocked runs under serveMu and pendMu — so plain reuse between
+	// calls is safe, and it spares a model-sized allocation per round.
+	commitEnc []byte
+	syncing     bool // the background fsync goroutine is alive
+	idx         []walIdxEntry
+
+	admitPool sync.Pool // *walAdmit with model-sized dp/db
+
+	records     atomic.Int64
+	commits     atomic.Int64
+	admits      atomic.Int64
+	bytes       atomic.Int64
+	writeErrs   atomic.Int64
+	uncommitted atomic.Int64 // admit records since the last commit record
+	lastRound   atomic.Int64
+
+	warnOnce sync.Once
+	warnf    func(format string, args ...any)
+}
+
+// lockWALDir takes the exclusive flock on dir/wal.lock without blocking.
+// The kernel releases a flock when its holder dies — any exit, SIGKILL
+// included — which is exactly the property both crash recovery (a dead
+// incumbent never wedges the log) and live handoff (release-on-exit is the
+// handoff signal) need.
+func lockWALDir(dir string) (*os.File, error) {
+	lf, err := os.OpenFile(filepath.Join(dir, walLockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(lf.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lf.Close()
+		if err == syscall.EWOULDBLOCK {
+			return nil, ErrWALLocked
+		}
+		return nil, err
+	}
+	return lf, nil
+}
+
+// WALExists reports whether dir holds a WAL with any content — the
+// create-or-recover switch for cmd/fldist's -wal flag.
+func WALExists(dir string) bool {
+	fi, err := os.Stat(filepath.Join(dir, walLogName))
+	return err == nil && fi.Size() > 0
+}
+
+// createWAL starts a fresh log in dir: meta record first, then the caller
+// logs the initial commit. It refuses a dir that already holds log content —
+// recovery, not re-creation, is the path there (RecoverServer).
+func createWAL(dir string, m walMeta, policy WALSyncPolicy) (*wal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if WALExists(dir) {
+		return nil, fmt.Errorf("fldist: WAL already exists in %s (use RecoverServer)", dir)
+	}
+	lf, err := lockWALDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walLogName), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		lf.Close()
+		return nil, err
+	}
+	w := newWAL(dir, f, lf, m, policy)
+	seq := w.reserve()
+	rec := appendWALRecord(nil, walRecMeta, seq, appendWALMeta(nil, m))
+	if _, err := w.append(seq, walRecMeta, rec, true); err != nil {
+		w.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func newWAL(dir string, f, lf *os.File, m walMeta, policy WALSyncPolicy) *wal {
+	w := &wal{
+		dir:    dir,
+		f:      f,
+		lockF:  lf,
+		policy: policy,
+		keep:   m.maxStale + 1,
+	}
+	w.sink = walFile(f)
+	if walWrapFile != nil {
+		w.sink = walWrapFile(w.sink)
+	}
+	w.cond = sync.NewCond(&w.mu)
+	w.closeCh = make(chan struct{})
+	// Captures start empty: the frame form never touches dp/db, so the
+	// model-sized delta scratch is allocated lazily by the first raw-gob
+	// capture a pooled object serves (and kept across reuses).
+	w.admitPool.New = func() any { return new(walAdmit) }
+	return w
+}
+
+// reserve claims the next sequence number. Callers on the admission path
+// invoke it while holding pendMu, so the sequence order is the admission
+// order; the write gate in append then makes it the file order too.
+func (w *wal) reserve() uint64 {
+	w.mu.Lock()
+	s := w.nextSeq
+	w.nextSeq++
+	w.mu.Unlock()
+	return s
+}
+
+// append writes one framed record at its sequence slot, waiting for every
+// earlier reservation to hit the file first, and returns the offset the
+// record starts at. A failed write sticks: the record boundary where the
+// failure happened is the end of the recoverable log, and every later append
+// is refused with the same error rather than scribbling records after a
+// hole. The slot always advances — a failure never wedges later writers
+// waiting on the gate. The uncommitted-admissions gauge is maintained here,
+// under the write gate, so it tracks the exact record order on disk.
+func (w *wal) append(seq uint64, typ byte, rec []byte, syncNow bool) (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.writeSeq != seq {
+		w.cond.Wait()
+	}
+	defer func() {
+		w.writeSeq++
+		w.cond.Broadcast()
+	}()
+	off := w.off
+	if w.werr != nil {
+		return off, w.werr
+	}
+	if w.closed {
+		return off, errors.New("fldist: WAL closed")
+	}
+	n, err := w.sink.Write(rec)
+	if err == nil && n < len(rec) {
+		err = io.ErrShortWrite
+	}
+	if err == nil && w.policy == WALSyncAlways {
+		err = w.sink.Sync()
+	} else if err == nil && syncNow && w.policy == WALSyncCommit {
+		// Group commit: the fsync runs on a background goroutine so the
+		// admission pipeline — the caller holds serveMu and pendMu across a
+		// commit append — is never stalled on device flush latency. A commit
+		// is durable against power loss once that fsync lands (a process
+		// crash loses nothing either way: the kernel holds the written
+		// pages); until then recovery falls back to the previous commit plus
+		// the admissions logged after it, which is exactly the torn-tail case
+		// it already handles.
+		w.scheduleSyncLocked()
+	}
+	if err != nil {
+		w.werr = err
+		w.writeErrs.Add(1)
+		return off, err
+	}
+	switch typ {
+	case walRecAdmit:
+		w.uncommitted.Add(1)
+	case walRecCommit:
+		w.uncommitted.Store(0)
+	}
+	w.off += int64(len(rec))
+	w.records.Add(1)
+	w.bytes.Add(int64(len(rec)))
+	return off, nil
+}
+
+// newAdmit leases an admission capture from the pool, its frame scratch
+// emptied for a fresh tee.
+func (w *wal) newAdmit() *walAdmit {
+	a := w.admitPool.Get().(*walAdmit)
+	a.frames = a.frames[:0]
+	return a
+}
+
+// releaseAdmit returns a capture to the pool.
+func (w *wal) releaseAdmit(a *walAdmit) {
+	w.admitPool.Put(a)
+}
+
+// appendAdmit encodes and appends one admission record, returning the capture
+// to the pool. Called outside every server lock; ordering is carried by the
+// seq reserved at admission.
+func (w *wal) appendAdmit(a *walAdmit) error {
+	enc := reserveWALHeader(a.enc[:0])
+	enc = appendWALAdmit(enc, a)
+	finishWALRecord(enc, 0, walRecAdmit, a.seq)
+	a.enc = enc
+	_, err := w.append(a.seq, walRecAdmit, a.enc, false)
+	w.releaseAdmit(a)
+	if err != nil {
+		w.warnWriteErr(err)
+		return err
+	}
+	w.admits.Add(1)
+	return nil
+}
+
+// appendCommit appends one commit record and rewrites the idx checkpoint.
+// Called with serveMu and pendMu held, just before the commit's snapshot is
+// published — log-then-publish is the write-ahead property. The fsync (under
+// the default policy) also seals every admission record this commit folded:
+// they precede it in the file.
+func (w *wal) appendCommit(seq uint64, c walCommit) error {
+	rec := reserveWALHeader(w.commitEnc[:0])
+	rec = appendWALCommit(rec, c)
+	finishWALRecord(rec, 0, walRecCommit, seq)
+	w.commitEnc = rec
+	off, err := w.append(seq, walRecCommit, rec, w.policy != WALSyncNone)
+	if err != nil {
+		w.warnWriteErr(err)
+		return err
+	}
+	w.commits.Add(1)
+	w.lastRound.Store(int64(c.round))
+	w.mu.Lock()
+	w.idx = append(w.idx, walIdxEntry{round: c.round, off: off})
+	if len(w.idx) > w.keep {
+		w.idx = w.idx[len(w.idx)-w.keep:]
+	}
+	idx := append([]walIdxEntry(nil), w.idx...)
+	w.mu.Unlock()
+	if err := writeWALIdx(w.dir, idx); err != nil {
+		// The idx is an optimization: recovery falls back to a full forward
+		// scan without it. Warn, don't fail the commit.
+		w.warnWriteErr(err)
+	}
+	return nil
+}
+
+// scheduleSyncLocked marks the log dirty and ensures the background fsync
+// goroutine is running. Caller holds w.mu. The single goroutine coalesces
+// bursts: however many commits land while one fsync is in flight, one more
+// fsync seals them all.
+func (w *wal) scheduleSyncLocked() {
+	w.syncPending = true
+	if !w.syncing {
+		w.syncing = true
+		go w.runSync()
+	}
+}
+
+// runSync is the background group-commit fsync loop: flush, then — if more
+// commits landed meanwhile — wait out the pacing interval and flush again.
+// The pacing matters for throughput, not just politeness: an fsync writes
+// back every dirty log page and holds the filesystem journal while it does,
+// which stalls concurrent record appends; one paced fsync seals a burst of
+// rounds at a fraction of that contention. A sync failure is sticky like a
+// write failure — later appends are refused at the same boundary recovery
+// will find. Close waits for this goroutine (via syncing/cond) before
+// closing the file, and wakes the pacing sleep through closeCh.
+func (w *wal) runSync() {
+	w.mu.Lock()
+	for w.syncPending && w.werr == nil && !w.closed {
+		w.syncPending = false
+		w.mu.Unlock()
+		start := time.Now()
+		err := w.sink.Sync()
+		if err == nil {
+			if d := walGroupSyncEvery - time.Since(start); d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-t.C:
+				case <-w.closeCh:
+					t.Stop()
+				}
+			}
+		}
+		w.mu.Lock()
+		if err != nil && w.werr == nil {
+			w.werr = err
+			w.writeErrs.Add(1)
+			w.mu.Unlock()
+			w.warnWriteErr(err)
+			w.mu.Lock()
+		}
+	}
+	w.syncing = false
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// warnWriteErr reports the first WAL write failure once. The server keeps
+// serving — degraded to in-memory durability — and recovery recovers the
+// intact prefix; Stats carries the error count.
+func (w *wal) warnWriteErr(err error) {
+	w.warnOnce.Do(func() {
+		f := w.warnf
+		if f == nil {
+			return
+		}
+		f("fldist: WAL write failed, continuing without durability (recovery will see state up to the last intact record): %v", err)
+	})
+}
+
+// Close flushes, fsyncs and closes the log and releases the lock file (and
+// with it the flock — the handoff signal). Idempotent.
+func (w *wal) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	close(w.closeCh) // wake a paced fsync sleep; the loop re-checks closed
+	for w.syncing {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+	err := w.sink.Sync()
+	if cerr := w.sink.Close(); err == nil {
+		err = cerr
+	}
+	if w.lockF != nil {
+		w.lockF.Close() // closing drops the flock
+	}
+	return err
+}
+
+// stats snapshots the log's counters for the /stats WAL section.
+func (w *wal) stats() *WALStats {
+	w.mu.Lock()
+	broken := w.werr != nil
+	w.mu.Unlock()
+	return &WALStats{
+		Dir:             w.dir,
+		Records:         w.records.Load(),
+		Commits:         w.commits.Load(),
+		Admits:          w.admits.Load(),
+		Bytes:           w.bytes.Load(),
+		WriteErrors:     w.writeErrs.Load(),
+		Broken:          broken,
+		LastCommitRound: w.lastRound.Load(),
+		PendingAdmits:   w.uncommitted.Load(),
+	}
+}
+
+// ---- idx checkpoint --------------------------------------------------------
+//
+// wal.idx pins the file offsets of the last (staleness window + 1) commit
+// records so recovery seeks straight to the oldest in-window commit instead
+// of scanning the whole log — O(window), independent of log length. It is
+// rewritten whole (temp + rename, so a crash mid-rewrite leaves the previous
+// idx) at every commit, and it is advisory: recovery validates the entry it
+// lands on and falls back to a full scan on any mismatch.
+
+const walIdxMagic = "FWI1"
+
+func writeWALIdx(dir string, entries []walIdxEntry) error {
+	if len(entries) > 255 {
+		entries = entries[len(entries)-255:]
+	}
+	buf := make([]byte, 0, 9+12*len(entries)+4)
+	buf = append(buf, walIdxMagic...)
+	buf = append(buf, walVersion)
+	buf = append(buf, byte(len(entries)))
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.round))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.off))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, walCRC))
+	tmp, err := os.CreateTemp(dir, walIdxName+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(buf)
+	if serr := tmp.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, walIdxName))
+}
+
+func readWALIdx(dir string) ([]walIdxEntry, error) {
+	b, err := os.ReadFile(filepath.Join(dir, walIdxName))
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < 10 || string(b[:4]) != walIdxMagic || b[4] != walVersion {
+		return nil, fmt.Errorf("%w: bad idx header", ErrWAL)
+	}
+	n := int(b[5])
+	if len(b) != 6+12*n+4 {
+		return nil, fmt.Errorf("%w: idx length %d for %d entries", ErrWAL, len(b), n)
+	}
+	if crc32.Checksum(b[:len(b)-4], walCRC) != binary.LittleEndian.Uint32(b[len(b)-4:]) {
+		return nil, fmt.Errorf("%w: idx crc mismatch", ErrWAL)
+	}
+	entries := make([]walIdxEntry, n)
+	for i := range entries {
+		off := 6 + 12*i
+		entries[i] = walIdxEntry{
+			round: int(binary.LittleEndian.Uint32(b[off : off+4])),
+			off:   int64(binary.LittleEndian.Uint64(b[off+4 : off+12])),
+		}
+	}
+	return entries, nil
+}
+
+// ---- edge parked-batch slot ------------------------------------------------
+//
+// An edge aggregator's durable state is a single parked upstream batch, not a
+// growing log: at any instant it has at most one combined cohort delta that
+// has been committed locally but not yet acknowledged upstream. That batch is
+// kept in a one-record file (edge.wal) written whole via temp + rename —
+// atomically replaced when a staleness rebase changes the payload, removed
+// when the upstream acknowledges the push. A restarted edge re-pushes the
+// parked batch with its original pushID, and the upstream's (round, pushID)
+// dedup horizon (EdgeIDSpan) turns the replay into a duplicate 200 if the
+// first attempt had in fact landed — re-push is idempotent, so the slot never
+// needs to know whether the crash hit before or after the acknowledgement.
+
+// edgeWALName is the single-slot parked-batch file inside an edge's WAL dir.
+const edgeWALName = "edge.wal"
+
+// writeEdgeWAL atomically replaces dir's parked-batch slot with b.
+func writeEdgeWAL(dir string, b walEdgeBatch) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("fldist: edge wal: %w", err)
+	}
+	rec := appendWALRecord(nil, walRecEdgeBatch, 0, appendWALEdgeBatch(nil, b))
+	tmp, err := os.CreateTemp(dir, edgeWALName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("fldist: edge wal: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	_, werr := tmp.Write(rec)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("fldist: edge wal: %w", werr)
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, edgeWALName))
+}
+
+// readEdgeWAL loads dir's parked batch. ok is false when the slot is empty
+// (no batch was parked, or the previous run pushed and cleared it); a present
+// but corrupt slot is an ErrWAL error, never a silently dropped batch.
+func readEdgeWAL(dir string) (b walEdgeBatch, ok bool, err error) {
+	raw, err := os.ReadFile(filepath.Join(dir, edgeWALName))
+	if os.IsNotExist(err) {
+		return b, false, nil
+	}
+	if err != nil {
+		return b, false, fmt.Errorf("fldist: edge wal: %w", err)
+	}
+	typ, _, payload, size, err := parseWALRecord(raw)
+	if err != nil {
+		return b, false, err
+	}
+	if typ != walRecEdgeBatch || size != len(raw) {
+		return b, false, fmt.Errorf("%w: edge wal slot holds record type %d (%d of %d bytes)", ErrWAL, typ, size, len(raw))
+	}
+	b, err = parseWALEdgeBatch(payload)
+	if err != nil {
+		return b, false, err
+	}
+	return b, true, nil
+}
+
+// clearEdgeWAL empties dir's parked-batch slot. Missing is success.
+func clearEdgeWAL(dir string) error {
+	err := os.Remove(filepath.Join(dir, edgeWALName))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("fldist: edge wal: %w", err)
+	}
+	return nil
+}

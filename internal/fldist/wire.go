@@ -192,6 +192,12 @@ type Stats struct {
 	// "not buffered", and a synchronous server's JSON payload is unchanged.
 	Buffered *BufferedStats `json:"buffered,omitempty"`
 
+	// WAL is the durability section, non-nil exactly when the server runs
+	// with a write-ahead log (WithWAL / RecoverServer). Broken flags a log
+	// that took a write error and stopped accepting records — the server
+	// keeps serving, but a crash from that point loses what the log missed.
+	WAL *WALStats `json:"wal,omitempty"`
+
 	// Upstream is the tier section, non-nil exactly when these stats come
 	// from an edge aggregator (Edge.Stats / GET /stats on an edge): the
 	// edge's client-side view of its upstream server. Like every other
@@ -210,6 +216,25 @@ type BufferedStats struct {
 	MaxStaleness  int     `json:"max_staleness"`
 	StaleRejected int64   `json:"stale_rejected"`
 	StalenessHist []int64 `json:"staleness_hist"`
+}
+
+// WALStats is the write-ahead-log section of Stats. Records/Commits/Admits/
+// Bytes count what has been appended since this process opened the log (not
+// since the log was created); LastCommitRound is the round of the newest
+// durable commit record; PendingAdmits is the number of admission records
+// logged since that commit — exactly the updates RecoverServer would replay
+// if the process died now. WriteErrors counts refused appends after the
+// first failure; Broken mirrors the sticky error state.
+type WALStats struct {
+	Dir             string `json:"dir"`
+	Records         int64  `json:"records"`
+	Commits         int64  `json:"commits"`
+	Admits          int64  `json:"admits"`
+	Bytes           int64  `json:"bytes"`
+	WriteErrors     int64  `json:"write_errors"`
+	Broken          bool   `json:"broken"`
+	LastCommitRound int64  `json:"last_commit_round"`
+	PendingAdmits   int64  `json:"pending_admits"`
 }
 
 // UpstreamStats is the hierarchical-aggregation section of an edge's Stats:

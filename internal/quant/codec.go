@@ -96,12 +96,20 @@ func Encode(c Chunked) []byte {
 // fallback body for receivers that did not negotiate compression, and the
 // format of the server's global-model pulls when compression is off.
 func EncodeRaw(v []float64) []byte {
-	buf := make([]byte, 0, frameHeaderSize+8*len(v))
-	buf = appendHeader(buf, RawBits, len(v), 0)
+	return AppendRaw(make([]byte, 0, frameHeaderSize+8*len(v)), v)
+}
+
+// AppendRaw appends v's exact float64 frame onto dst and returns the extended
+// slice — EncodeRaw for callers embedding frames inside a larger record (the
+// fldist write-ahead log frames every vector payload this way, so logged
+// snapshots share the wire codec's byte-stable encoding and its corruption
+// checks). The appended bytes are identical to EncodeRaw(v).
+func AppendRaw(dst []byte, v []float64) []byte {
+	dst = appendHeader(dst, RawBits, len(v), 0)
 	for _, x := range v {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
 	}
-	return buf
+	return dst
 }
 
 // quantPayloadSize returns the quantized payload size (scales + packed

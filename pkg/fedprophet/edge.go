@@ -66,6 +66,14 @@ const EdgeIDSpan = fldist.EdgeIDSpan
 // deployments must assign explicit disjoint blocks.
 func WithEdgeUpstreamID(id int) EdgeAggregatorOption { return fldist.WithEdgeClientID(id) }
 
+// WithEdgeWAL makes the edge's parked upstream batch crash-safe: a committed
+// cohort batch whose upstream push has not been acknowledged is persisted in
+// dir, and a restarted edge re-pushes it under its original dedup identity —
+// the upstream drops the replay as a duplicate if the first attempt had
+// landed, so a crash on either side of the acknowledgement loses nothing and
+// double-counts nothing.
+func WithEdgeWAL(dir string) EdgeAggregatorOption { return fldist.WithEdgeWAL(dir) }
+
 // NewEdgeAggregator builds an edge for the given upstream base URL (a root
 // ParamServer or another edge). Like NewParamServer it panics on
 // nonsensical configuration; the first upstream pull happens in Start.

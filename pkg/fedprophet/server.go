@@ -1,6 +1,7 @@
 package fedprophet
 
 import (
+	"context"
 	"fmt"
 
 	"fedprophet/internal/fldist"
@@ -51,6 +52,61 @@ func WithServerShards(n int) ParamServerOption { return fldist.WithShards(n) }
 // — updates always carried their base round.
 func WithBufferedAggregation(k, maxStaleness int) ParamServerOption {
 	return fldist.WithBufferedAggregation(k, maxStaleness)
+}
+
+// WithServerWAL makes the parameter server crash-safe: every commit (and, in
+// buffered mode, every admission between commits) is appended to a
+// write-ahead log in dir before it takes effect. A process that dies — power
+// loss, SIGKILL, panic — resumes the federation at its last commit via
+// RecoverParamServer, replaying the admissions its buffer held; clients never
+// observe a model older than one they already pulled. The dir must not
+// already hold a WAL (recover, don't re-create). See docs/ARCHITECTURE.md
+// ("Durability") for the record format, fsync policy and guarantees.
+func WithServerWAL(dir string) ParamServerOption { return fldist.WithWAL(dir) }
+
+// ServerWALSyncPolicy selects when the write-ahead log fsyncs; see the
+// WALSync constants.
+type ServerWALSyncPolicy = fldist.WALSyncPolicy
+
+// The WAL fsync policies: WALSyncCommit (the default) makes commits
+// power-loss durable and admissions process-crash durable; WALSyncAlways
+// fsyncs every record; WALSyncNone leaves durability to the OS page cache
+// (process crashes still lose nothing).
+const (
+	WALSyncCommit = fldist.WALSyncCommit
+	WALSyncAlways = fldist.WALSyncAlways
+	WALSyncNone   = fldist.WALSyncNone
+)
+
+// WithServerWALSync tunes the WAL fsync policy (default WALSyncCommit). Only
+// meaningful together with WithServerWAL or RecoverParamServer.
+func WithServerWALSync(p ServerWALSyncPolicy) ParamServerOption {
+	return fldist.WithWALSyncPolicy(p)
+}
+
+// ParamServerWALExists reports whether dir holds a write-ahead log — the
+// switch between NewParamServer(..., WithServerWAL(dir)) on first boot and
+// RecoverParamServer(dir) on every boot after.
+func ParamServerWALExists(dir string) bool { return fldist.WALExists(dir) }
+
+// RecoverParamServer rebuilds a parameter server from the write-ahead log in
+// dir: the model resumes at the last intact commit, admissions logged after
+// it re-enter the buffer, and the log stays open for the recovered server's
+// own appends. The aggregation mode, commit threshold and staleness window
+// come from the log itself; opts may tune runtime-only settings (shards, WAL
+// sync policy). It fails with an error while another live process still
+// holds the log — use HandoffParamServer to wait that out.
+func RecoverParamServer(dir string, opts ...ParamServerOption) (*ParamServer, error) {
+	return fldist.RecoverServer(dir, opts...)
+}
+
+// HandoffParamServer blocks until the process currently holding the WAL in
+// dir releases it (exits, crashes, or closes its server), then recovers and
+// returns the server — the live-handoff path: start the successor with
+// HandoffParamServer, stop the incumbent, and the federation resumes at its
+// last commit with no state lost.
+func HandoffParamServer(ctx context.Context, dir string, opts ...ParamServerOption) (*ParamServer, error) {
+	return fldist.Handoff(ctx, dir, opts...)
 }
 
 // NewParamServer builds a parameter server seeded with the given global
