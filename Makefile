@@ -1,6 +1,7 @@
 # Build, verify and benchmark the FedProphet reproduction.
 #
-#   make ci      - everything the tier-1 gate runs: build, vet, test, race, docs links
+#   make ci      - everything the tier-1 gate runs: build, vet, test, race,
+#                  codec fuzz pass, docs links
 #   make bench   - repository benchmarks (paper tables/figures) with -benchmem
 #   make bench-parallel - client-parallelism wall-clock benchmark
 #   make bench-conv     - direct vs GEMM convolution backend benchmark
@@ -28,7 +29,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race check-docs smoke-serve smoke-edge smoke-pull smoke-wal ci bench bench-parallel bench-conv bench-json bench-wire bench-serve cover clean
+.PHONY: all build vet test test-race fuzz check-docs smoke-serve smoke-edge smoke-pull smoke-wal ci bench bench-parallel bench-conv bench-json bench-wire bench-serve cover clean
 
 all: ci
 
@@ -47,6 +48,13 @@ test:
 # streaming codec) under the race detector.
 test-race:
 	$(GO) test -race ./internal/tensor/... ./internal/nn/... ./internal/fl/... ./internal/fldist/... ./internal/quant/...
+
+# The wire-codec fuzz target: the checked-in seed corpus (raw, dense, sparse
+# and corrupted frames) plus a short live-fuzz pass, so adversarial frames
+# hitting quant.Decode/StreamDecoder keep returning ErrCodec instead of
+# panicking or over-allocating. ~5s; part of ci.
+fuzz:
+	$(GO) test ./internal/quant -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 5s
 
 # Dead relative links in the markdown docs — and dead *.md references cited
 # inside Go doc comments — fail the build.
@@ -81,7 +89,7 @@ smoke-pull:
 smoke-wal:
 	GOMAXPROCS=4 $(GO) run ./cmd/benchserve -smoke-wal
 
-ci: build vet test test-race check-docs smoke-serve smoke-edge smoke-pull smoke-wal
+ci: build vet test test-race fuzz check-docs smoke-serve smoke-edge smoke-pull smoke-wal
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
@@ -96,7 +104,8 @@ bench-json:
 	$(GO) run ./cmd/benchconv -out BENCH_conv.json
 
 bench-wire:
-	$(GO) run ./cmd/benchwire -out BENCH_wire.json
+	$(GO) run ./cmd/benchwire -out BENCH_wire.json \
+		-timestamp $$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
 bench-serve:
 	GOMAXPROCS=4 $(GO) run ./cmd/benchserve -duration 5s -out BENCH_serve.json \

@@ -89,30 +89,32 @@ import (
 
 func main() {
 	var (
-		serve    = flag.Bool("serve", false, "run the parameter server")
-		addr     = flag.String("addr", ":8080", "server listen address")
-		quorum   = flag.Int("quorum", 2, "updates per aggregation round")
-		connect  = flag.String("connect", "", "server URL for client mode")
-		clientID = flag.Int("client", 0, "this client's index")
-		clients  = flag.Int("clients", 2, "total number of clients (data partition)")
-		rounds   = flag.Int("rounds", 5, "rounds to participate in")
-		pgd      = flag.Int("pgd", 3, "PGD steps for adversarial training (0 = standard)")
-		seed     = flag.Int64("seed", 1, "random seed (must match across processes)")
-		bits     = flag.Int("bits", 0, "compressed delta wire protocol bit width, 2..8 (0 = raw gob)")
-		chunk    = flag.Int("chunk", 0, "values per quantization scale (0 = default 256)")
-		shards   = flag.Int("shards", 0, "server aggregation shards (0 = GOMAXPROCS; result is identical at any count)")
-		buffer   = flag.Int("buffer", 0, "buffered bounded-staleness aggregation: commit every K admitted updates (0 = synchronous quorum)")
-		stale    = flag.Int("staleness", 4, "buffered mode: admit updates up to this many rounds behind, down-weighted 1/(1+staleness)")
-		async    = flag.Bool("async", false, "client mode: pipeline pull→train→push for a buffered server (no round barrier)")
-		pprof    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) for live profiling")
-		edge     = flag.Bool("edge", false, "run an edge aggregator between a client cohort and -upstream")
-		upstream = flag.String("upstream", "", "edge mode: upstream server URL (root or another edge)")
-		cohort   = flag.String("cohort", "", "edge mode: cohort name(s), comma-separated; >1 mounts a multi-tenant registry")
-		flushK   = flag.Int("flush", 8, "edge mode: push upstream once this many cohort updates buffered")
-		flushAge = flag.Duration("flush-age", 500*time.Millisecond, "edge mode: push upstream once the oldest buffered update is this old (0 = depth/drain only)")
-		edgeID   = flag.Int("edge-id", 0, "edge mode: base of this process's upstream client ID blocks, one block of fldist.EdgeIDSpan IDs per cohort; must be disjoint across edge processes sharing an upstream (0 = randomize)")
-		walDir   = flag.String("wal", "", "server/edge mode: write-ahead log directory; a restart (or crash) resumes from it, so the first boot creates the log and every later boot recovers")
-		handoff  = flag.Bool("wal-handoff", false, "server mode with -wal: wait for the process currently holding the WAL to exit, then take over at its last commit")
+		serve     = flag.Bool("serve", false, "run the parameter server")
+		addr      = flag.String("addr", ":8080", "server listen address")
+		quorum    = flag.Int("quorum", 2, "updates per aggregation round")
+		connect   = flag.String("connect", "", "server URL for client mode")
+		clientID  = flag.Int("client", 0, "this client's index")
+		clients   = flag.Int("clients", 2, "total number of clients (data partition)")
+		rounds    = flag.Int("rounds", 5, "rounds to participate in")
+		pgd       = flag.Int("pgd", 3, "PGD steps for adversarial training (0 = standard)")
+		seed      = flag.Int64("seed", 1, "random seed (must match across processes)")
+		bits      = flag.Int("bits", 0, "compressed delta wire protocol bit width, 2..8 (0 = raw gob)")
+		chunk     = flag.Int("chunk", 0, "values per quantization scale (0 = default 256)")
+		topk      = flag.Int("topk", 0, "client mode with -bits: send only the top-k coordinates of each error-fed delta uplink (0 = dense)")
+		deltaPull = flag.Bool("delta-pull", false, "client mode with -bits: pull only the quantized global delta against the last held round (cold pull on the first round)")
+		shards    = flag.Int("shards", 0, "server aggregation shards (0 = GOMAXPROCS; result is identical at any count)")
+		buffer    = flag.Int("buffer", 0, "buffered bounded-staleness aggregation: commit every K admitted updates (0 = synchronous quorum)")
+		stale     = flag.Int("staleness", 4, "buffered mode: admit updates up to this many rounds behind, down-weighted 1/(1+staleness)")
+		async     = flag.Bool("async", false, "client mode: pipeline pull→train→push for a buffered server (no round barrier)")
+		pprof     = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) for live profiling")
+		edge      = flag.Bool("edge", false, "run an edge aggregator between a client cohort and -upstream")
+		upstream  = flag.String("upstream", "", "edge mode: upstream server URL (root or another edge)")
+		cohort    = flag.String("cohort", "", "edge mode: cohort name(s), comma-separated; >1 mounts a multi-tenant registry")
+		flushK    = flag.Int("flush", 8, "edge mode: push upstream once this many cohort updates buffered")
+		flushAge  = flag.Duration("flush-age", 500*time.Millisecond, "edge mode: push upstream once the oldest buffered update is this old (0 = depth/drain only)")
+		edgeID    = flag.Int("edge-id", 0, "edge mode: base of this process's upstream client ID blocks, one block of fldist.EdgeIDSpan IDs per cohort; must be disjoint across edge processes sharing an upstream (0 = randomize)")
+		walDir    = flag.String("wal", "", "server/edge mode: write-ahead log directory; a restart (or crash) resumes from it, so the first boot creates the log and every later boot recovers")
+		handoff   = flag.Bool("wal-handoff", false, "server mode with -wal: wait for the process currently holding the WAL to exit, then take over at its last commit")
 	)
 	flag.Parse()
 
@@ -291,8 +293,16 @@ func main() {
 		}
 		wire := "raw gob"
 		if *bits != 0 {
-			c.Compression = &fldist.Compression{Bits: *bits, Chunk: *chunk}
+			c.Compression = &fldist.Compression{Bits: *bits, Chunk: *chunk, TopK: *topk, Delta: *deltaPull}
 			wire = fmt.Sprintf("%d-bit error-fed deltas", *bits)
+			if *topk > 0 {
+				wire += fmt.Sprintf(", top-%d sparse uplink", *topk)
+			}
+			if *deltaPull {
+				wire += ", delta downlink"
+			}
+		} else if *topk > 0 || *deltaPull {
+			log.Fatal("fldist: -topk and -delta-pull require -bits (they ride the compressed codec)")
 		}
 		loop := "sync"
 		if *async {

@@ -72,6 +72,18 @@ type Client struct {
 	// residual, so a redundant re-push of an already-acknowledged round
 	// cannot advance the feedback state twice. 0 means none committed.
 	residualRound int
+	// errBN carries the residual of the quantized BN delta frames a top-k
+	// push sends (bnDeltaBits, error-fed like the params); dense pushes ship
+	// the BN delta raw and keep no residual.
+	errBN []float64
+	// heldRound/hasChain are the delta-downlink state: the chain round whose
+	// exact base vectors baseParams/baseBN currently hold. A delta-mode pull
+	// declares heldRound so the server sends only the frames from there to
+	// the chain head; with hasChain false (first pull, or after a failed
+	// catch-up left the base torn) the pull goes cold and lands on the chain
+	// head whole.
+	heldRound int
+	hasChain  bool
 
 	// testAfterTrain, when non-nil, runs after every local training pass
 	// and before the push. Tests use it to simulate stragglers without
@@ -98,7 +110,13 @@ func (c *Client) Pull(ctx context.Context) (int, error) {
 		return 0, fmt.Errorf("fldist: pull: %w", err)
 	}
 	if c.Compression != nil {
-		req.Header.Set(codecHeader, codecValue(comp))
+		v := codecValue(comp)
+		if comp.Delta && c.hasChain {
+			// Declare the chain round we hold so the server can answer with
+			// just the delta frames from there to the head.
+			v += ";base=" + strconv.Itoa(c.heldRound)
+		}
+		req.Header.Set(codecHeader, v)
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
@@ -109,8 +127,25 @@ func (c *Client) Pull(ctx context.Context) (int, error) {
 		body, _ := io.ReadAll(resp.Body)
 		return 0, fmt.Errorf("fldist: pull: %s: %s", resp.Status, body)
 	}
-	if resp.Header.Get("Content-Type") == contentTypeModel {
+	switch resp.Header.Get("Content-Type") {
+	case contentTypeModel:
 		round, err := c.streamModelEnvelope(resp.Body)
+		if err != nil {
+			return 0, fmt.Errorf("fldist: pull: %w", err)
+		}
+		if comp.Delta {
+			// A cold delta-mode pull lands exactly on the chain head; later
+			// pulls catch up from here.
+			c.hasChain = true
+			c.heldRound = round
+		}
+		nn.ImportParams(c.Model, c.baseParams)
+		if len(c.baseBN) > 0 {
+			nn.ImportBNStats(c.Model, c.baseBN)
+		}
+		return round, nil
+	case contentTypeModelDelta:
+		round, err := c.streamDeltaEnvelope(resp.Body)
 		if err != nil {
 			return 0, fmt.Errorf("fldist: pull: %w", err)
 		}
@@ -128,6 +163,7 @@ func (c *Client) Pull(ctx context.Context) (int, error) {
 		return 0, err
 	}
 	c.negotiated = false
+	c.hasChain = false
 	nn.ImportParams(c.Model, blob.Params)
 	if len(blob.BN) > 0 {
 		nn.ImportBNStats(c.Model, blob.BN)
@@ -193,6 +229,108 @@ func (c *Client) streamModelEnvelope(body io.Reader) (int, error) {
 	}
 	c.negotiated = true
 	return round, nil
+}
+
+// streamDeltaEnvelope decodes an FPD1 catch-up body: the 17-byte header
+// (magic, version, from-round, to-round, entry count), then per entry a
+// round number and two quantized delta frames — params, then BN — each
+// applied onto the held chain base in place. Sparse frames scatter-add their
+// k values directly; dense frames stream chunk-by-chunk through an O(chunk)
+// scratch. The applied bases are bit-identical to the server's chain entries
+// (and therefore to what a cold-pulling client receives whole), which is
+// what lets the next push's delta resolve against the server-side base
+// registry exactly.
+func (c *Client) streamDeltaEnvelope(body io.Reader) (int, error) {
+	// As in streamModelEnvelope, the in-place mutation of the base buffers
+	// makes a mid-stream failure leave them torn: dropping negotiated AND
+	// hasChain up front (both restored only on full success) forces the next
+	// pull cold, which rewrites the base whole.
+	c.negotiated = false
+	c.hasChain = false
+	var hdr [17]byte
+	if _, err := io.ReadFull(body, hdr[:]); err != nil {
+		return 0, fmt.Errorf("model delta header: %w", err)
+	}
+	if string(hdr[:4]) != deltaMagic {
+		return 0, fmt.Errorf("model delta magic %q", hdr[:4])
+	}
+	if hdr[4] != envVersion {
+		return 0, fmt.Errorf("model delta version %d, want %d", hdr[4], envVersion)
+	}
+	from := int(binary.LittleEndian.Uint32(hdr[5:9]))
+	to := int(binary.LittleEndian.Uint32(hdr[9:13]))
+	count := int(binary.LittleEndian.Uint32(hdr[13:17]))
+	if from != c.heldRound {
+		return 0, fmt.Errorf("model delta from round %d, client holds %d", from, c.heldRound)
+	}
+	wantP := nn.NumParams(c.Model)
+	wantB := nn.NumBNStats(c.Model)
+	if len(c.baseParams) != wantP || len(c.baseBN) != wantB {
+		return 0, fmt.Errorf("model delta against a base of %d+%d values, replica has %d+%d",
+			len(c.baseParams), len(c.baseBN), wantP, wantB)
+	}
+	held := from
+	for e := 0; e < count; e++ {
+		var rb [4]byte
+		if _, err := io.ReadFull(body, rb[:]); err != nil {
+			return 0, fmt.Errorf("model delta entry %d round: %w", e, err)
+		}
+		r := int(binary.LittleEndian.Uint32(rb[:]))
+		if r <= held {
+			return 0, fmt.Errorf("model delta entry %d round %d not after %d", e, r, held)
+		}
+		if err := applyDeltaFrame(body, c.baseParams, wantP); err != nil {
+			return 0, fmt.Errorf("model delta entry %d params frame: %w", e, err)
+		}
+		if err := applyDeltaFrame(body, c.baseBN, wantB); err != nil {
+			return 0, fmt.Errorf("model delta entry %d bn frame: %w", e, err)
+		}
+		held = r
+	}
+	if held != to {
+		return 0, fmt.Errorf("model delta ends at round %d, header says %d", held, to)
+	}
+	var one [1]byte
+	if _, err := io.ReadFull(body, one[:]); err != io.EOF {
+		return 0, fmt.Errorf("model delta has trailing bytes")
+	}
+	c.heldRound = to
+	c.hasChain = true
+	c.negotiated = true
+	return to, nil
+}
+
+// applyDeltaFrame streams one quantized delta frame and adds it onto dst:
+// sparse frames scatter-add their stored coordinates, dense frames stream
+// chunk-by-chunk through a scratch bounded by the chunk size.
+func applyDeltaFrame(body io.Reader, dst []float64, want int) (err error) {
+	d, err := quant.NewStreamDecoder(body)
+	if err != nil {
+		return err
+	}
+	if d.Len() != want {
+		return fmt.Errorf("frame carries %d values, want %d", d.Len(), want)
+	}
+	if d.IsSparse() {
+		return d.ApplySparse(dst)
+	}
+	if d.IsRaw() {
+		return fmt.Errorf("raw frame on a delta chain")
+	}
+	scratch := make([]float64, min(d.Chunk(), want))
+	off := 0
+	for l := d.NextLen(); l > 0; l = d.NextLen() {
+		buf := scratch[:l]
+		if err := d.Next(buf); err != nil {
+			return err
+		}
+		out := dst[off : off+l]
+		for i := range out {
+			out[i] += buf[i]
+		}
+		off += l
+	}
+	return nil
 }
 
 // resize returns v with exactly length n, reusing its backing array when it
@@ -278,7 +416,7 @@ func (c *Client) Push(ctx context.Context, round int) (counted bool, err error) 
 	if err := gob.NewEncoder(&buf).Encode(u); err != nil {
 		return false, fmt.Errorf("fldist: encoding update: %w", err)
 	}
-	return c.postUpdate(ctx, contentTypeGob, buf.Bytes())
+	return c.postUpdate(ctx, contentTypeGob, "", buf.Bytes())
 }
 
 // pushDelta sends the compressed update: the quantized difference between
@@ -302,48 +440,97 @@ func (c *Client) pushDelta(ctx context.Context, round int) (counted bool, err er
 		// a stale residual must not be folded into the delta.
 		c.errParams = nil
 	}
-	qP, eP := deltaQuantize(params, c.baseParams, c.errParams, comp)
-	// The BN statistics delta travels raw: a handful of values whose
-	// quantization damage (running variances pushed to zero) far outweighs
-	// the bytes, and raw means no residual to feed back.
-	dB := make([]float64, len(bn))
-	for i := range dB {
-		dB[i] = bn[i] - c.baseBN[i]
+	var pFrame []byte
+	var eP []float64
+	if comp.TopK > 0 {
+		// Top-k sparse uplink: form the error-fed delta, keep only the K
+		// largest-magnitude coordinates as a sparse frame, and let the
+		// residual absorb everything sparsification dropped — an unsent
+		// coordinate's entire delta rides to the next round, so sparsifying
+		// delays small movements instead of losing them.
+		d := formDelta(params, c.baseParams, c.errParams)
+		idx := quant.TopKIndices(d, comp.TopK)
+		deq := make([]float64, len(idx))
+		pFrame = quant.EncodeSparse(d, idx, comp.Bits, comp.Chunk, deq)
+		for j, ix := range idx {
+			d[ix] -= deq[j]
+		}
+		eP = d
+	} else {
+		var qP quant.Chunked
+		qP, eP = deltaQuantize(params, c.baseParams, c.errParams, comp)
+		pFrame = quant.Encode(qP)
 	}
-	body, err := encodeUpdateEnvelope(c.ID, round, float64(c.Subset.Len()),
-		quant.Encode(qP), quant.EncodeRaw(dB))
+	// The BN statistics delta: raw on a dense push — a handful of values
+	// whose quantization damage (running variances crushed toward zero) far
+	// outweighs the bytes, and raw means no residual to feed back. On a
+	// top-k push the params frame is so small that raw BN would dominate the
+	// body, so BN travels as a dense bnDeltaBits frame with its own
+	// error-feedback residual instead.
+	var bnFrame []byte
+	var eBN []float64
+	if comp.TopK > 0 {
+		if len(c.errBN) != len(bn) {
+			c.errBN = nil
+		}
+		dB := formDelta(bn, c.baseBN, c.errBN)
+		qB := quant.QuantizeChunks(dB, bnDeltaBits, comp.Chunk)
+		bnFrame = quant.Encode(qB)
+		deqB := qB.Dequantize()
+		for i := range dB {
+			dB[i] -= deqB[i]
+		}
+		eBN = dB
+	} else {
+		dB := formDelta(bn, c.baseBN, nil)
+		bnFrame = quant.EncodeRaw(dB)
+	}
+	body, err := encodeUpdateEnvelope(c.ID, round, float64(c.Subset.Len()), pFrame, bnFrame)
 	if err != nil {
 		return false, err
 	}
-	counted, err = c.postUpdate(ctx, contentTypeDelta, body)
+	// A delta-downlink push declares its codec so the server resolves the
+	// training base out of the chain's per-round base registry instead of
+	// the dense served cache.
+	codec := ""
+	if comp.Delta {
+		codec = codecValue(comp)
+	}
+	counted, err = c.postUpdate(ctx, contentTypeDelta, codec, body)
 	if err == nil && c.residualRound != round+1 {
 		// 200 (counted, or duplicate of an already-counted push of this
 		// same delta whose response was lost): the quantized delta is part
 		// of the server's round, so the residual advances — once per round.
 		c.errParams = eP
+		c.errBN = eBN
 		c.residualRound = round + 1
 	}
 	return counted, err
+}
+
+// formDelta returns trained − base (+ residual when non-nil), element-wise.
+func formDelta(trained, base, residual []float64) []float64 {
+	d := make([]float64, len(trained))
+	for i := range d {
+		d[i] = trained[i] - base[i]
+		if residual != nil {
+			d[i] += residual[i]
+		}
+	}
+	return d
 }
 
 // deltaQuantize forms the error-fed delta d = (params − base) + residual,
 // quantizes it, and returns the quantized form together with the next
 // residual d − dequantize(q).
 func deltaQuantize(params, base, residual []float64, comp Compression) (quant.Chunked, []float64) {
-	d := make([]float64, len(params))
-	for i := range d {
-		d[i] = params[i] - base[i]
-		if residual != nil {
-			d[i] += residual[i]
-		}
-	}
+	d := formDelta(params, base, residual)
 	q := quant.QuantizeChunks(d, comp.Bits, comp.Chunk)
 	deq := q.Dequantize()
-	next := make([]float64, len(d))
-	for i := range next {
-		next[i] = d[i] - deq[i]
+	for i := range d {
+		d[i] -= deq[i]
 	}
-	return q, next
+	return q, d
 }
 
 // postUpdate POSTs one update body and maps the server's verdict to the
@@ -352,7 +539,7 @@ func deltaQuantize(params, base, residual []float64, comp Compression) (quant.Ch
 // publishing), not a staleness verdict — the identical body is re-sent a
 // few times before the push is given up as stale, so a fresh training pass
 // is not discarded over a slow commit.
-func (c *Client) postUpdate(ctx context.Context, contentType string, body []byte) (bool, error) {
+func (c *Client) postUpdate(ctx context.Context, contentType, codec string, body []byte) (bool, error) {
 	const retries = 3
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/update",
@@ -361,6 +548,9 @@ func (c *Client) postUpdate(ctx context.Context, contentType string, body []byte
 			return false, fmt.Errorf("fldist: push: %w", err)
 		}
 		req.Header.Set("Content-Type", contentType)
+		if codec != "" {
+			req.Header.Set(codecHeader, codec)
+		}
 		resp, err := c.HTTP.Do(req)
 		if err != nil {
 			return false, fmt.Errorf("fldist: push: %w", err)

@@ -209,6 +209,16 @@ type Server struct {
 	// commit.
 	history map[int]*roundState
 
+	// deltaChains holds the delta-downlink state per codec variant that
+	// negotiated delta=1 (servedelta.go). deltaMu guards only the map; each
+	// chain's own mutex is the single-flight latch across its O(model)
+	// advances, so distinct variants advance concurrently. The chains are a
+	// separate subsystem from served/downErr on purpose: they advance lazily
+	// at pull time from the immutable snapshot, so round transitions never
+	// touch them.
+	deltaMu     sync.Mutex
+	deltaChains map[Compression]*deltaChain
+
 	// Counters and latency window — atomics, so Stats never contends with
 	// aggregation.
 	roundsCompleted   atomic.Int64
@@ -219,6 +229,12 @@ type Server struct {
 	bytesOutComp      atomic.Int64
 	updatesRaw        atomic.Int64
 	updatesComp       atomic.Int64
+	bytesInSparse     atomic.Int64
+	updatesSparse     atomic.Int64
+	bytesOutDelta     atomic.Int64
+	bytesOutCold      atomic.Int64
+	deltaPulls        atomic.Int64
+	coldPulls         atomic.Int64
 	staleRejected     atomic.Int64
 	servedBuilds      atomic.Int64
 	admitLat          latRing
@@ -321,6 +337,7 @@ func NewServer(initParams, initBN []float64, updatesPerRound int, opts ...Server
 		bnShard:         shard{lo: 0, hi: len(initBN)},
 		served:          map[Compression]*servedEntry{},
 		downErr:         map[Compression][]float64{},
+		deltaChains:     map[Compression]*deltaChain{},
 	}
 	s.setServedLocked(s.served)
 	if cfg.bufferK != 0 || cfg.maxStale != 0 {
@@ -432,7 +449,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	comp, compressed, err := parseCodec(r.Header.Get(codecHeader))
+	comp, baseR, compressed, err := parseCodec(r.Header.Get(codecHeader))
 	if err != nil {
 		// A client that asked for compression we cannot parse must hear
 		// about it rather than silently receive a gob blob it may not
@@ -441,7 +458,13 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if compressed {
-		sm, err := s.getServed(comp, -1)
+		if comp.Delta {
+			s.handleDeltaModel(w, comp, baseR, start)
+			return
+		}
+		// serveKey: a topk negotiation without delta shapes only the uplink,
+		// so those clients share the dense variant's served body and base.
+		sm, err := s.getServed(comp.serveKey(), -1)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -760,11 +783,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			s.rejectStale(w, u.Round)
 			return
 		}
-		s.finishUpdateAsync(w, u.ClientID, u.Round, u.Weight, buf, false, &s.updatesRaw,
-			base.params, base.bn, start, nil)
+		s.finishUpdateAsync(w, u.ClientID, u.Round, u.Weight, buf, false,
+			[]*atomic.Int64{&s.updatesRaw}, base.params, base.bn, start, nil)
 		return
 	}
-	s.finishUpdate(w, u.ClientID, u.Round, u.Weight, buf, false, &s.updatesRaw, start)
+	s.finishUpdate(w, u.ClientID, u.Round, u.Weight, buf, false, []*atomic.Int64{&s.updatesRaw}, start)
 }
 
 // admissibleRound runs the cheap pre-admission round check of both push
@@ -813,8 +836,12 @@ func (s *Server) handleDeltaUpdate(w http.ResponseWriter, r *http.Request, start
 	snap := s.model.Load()
 	sc := pushScratchPool.Get().(*pushScratch)
 	sc.cr = countReader{r: r.Body}
+	sparse := false // set once the params frame turns out to be sparse
 	defer func() {
 		s.bytesInComp.Add(sc.cr.n)
+		if sparse {
+			s.bytesInSparse.Add(sc.cr.n)
+		}
 		sc.br.Reset(nil) // drop the request body reference before pooling
 		pushScratchPool.Put(sc)
 	}()
@@ -856,9 +883,22 @@ func (s *Server) handleDeltaUpdate(w http.ResponseWriter, r *http.Request, start
 	// frame, against the ~ms of delta capture and raw-frame encode the
 	// delta-form record would cost on the same push. Speculative: rejected
 	// pushes release the capture unwritten.
+	// A delta-downlink client (codec negotiated with delta=1) declares its
+	// codec on the push too: its training base is a chain entry in the
+	// per-round base registry (servedelta.go), not a served model. Those
+	// admissions skip the verbatim frame tee below — the chain is not
+	// persisted across restarts, so with a WAL attached they are captured in
+	// delta form instead (finishUpdateAsync), which replays without a base.
+	pushComp, _, pushNeg, err := parseCodec(r.Header.Get(codecHeader))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	deltaPush := pushNeg && pushComp.Delta
+
 	var wrec *walAdmit
 	src := io.Reader(&sc.cr)
-	if s.async && s.wal != nil {
+	if s.async && s.wal != nil && !deltaPush {
 		wrec = s.wal.newAdmit()
 		defer func() {
 			if wrec != nil {
@@ -888,46 +928,88 @@ func (s *Server) handleDeltaUpdate(w http.ResponseWriter, r *http.Request, start
 		http.Error(w, "shape mismatch", http.StatusBadRequest)
 		return
 	}
-	// The base the client pulled: the base round's served dequantized model
-	// at the same codec parameters — deterministic, so recomputing on a
-	// cache miss yields the same values (buffered mode looks the entry up in
-	// the retained window instead).
-	sm, err := s.getServed(comp, round)
-	if errors.Is(err, errStaleServe) {
-		if s.async {
-			s.rejectStale(w, round)
+	// The base the client trained from: for a delta-mode client, the chain
+	// entry at its held round (the per-round base registry, servedelta.go);
+	// otherwise the base round's served dequantized model at the same codec
+	// parameters — deterministic, so recomputing on a cache miss yields the
+	// same values (buffered mode looks the entry up in the retained window
+	// instead).
+	var baseP, baseBN []float64
+	if deltaPush {
+		var ok bool
+		baseP, baseBN, ok = s.deltaBaseAt(pushComp, round)
+		if !ok {
+			// No chain (the server restarted) or the round fell out of the
+			// window: the client must re-pull — landing cold on the fresh
+			// chain — and retrain.
+			if s.async {
+				s.rejectStale(w, round)
+				return
+			}
+			http.Error(w, fmt.Sprintf("stale round %d", round), http.StatusConflict)
 			return
 		}
-		http.Error(w, fmt.Sprintf("stale round %d", round), http.StatusConflict)
-		return
-	}
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+	} else {
+		sm, err := s.getServed(comp, round)
+		if errors.Is(err, errStaleServe) {
+			if s.async {
+				s.rejectStale(w, round)
+				return
+			}
+			http.Error(w, fmt.Sprintf("stale round %d", round), http.StatusConflict)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		baseP, baseBN = sm.params, sm.bn
 	}
 
 	buf := s.bufPool.Get().(*updateBuf)
-	// Stream the delta chunks into the pooled buffer, reconstructing
-	// base+delta and rejecting non-finite results as each chunk lands.
-	off := 0
-	for l := dec.NextLen(); l > 0; l = dec.NextLen() {
-		dst := buf.params[off : off+l]
-		if err := dec.Next(dst); err != nil {
+	if dec.IsSparse() {
+		// Sparse top-k frame: every unsent coordinate is exactly zero delta,
+		// so reconstruction copies the base and scatter-adds the k stored
+		// values; one finiteness sweep then covers the whole vector (a wire
+		// scale can be hostile, so the added values are not trusted).
+		sparse = true
+		copy(buf.params, baseP)
+		if err := dec.ApplySparse(buf.params); err != nil {
 			s.bufPool.Put(buf)
 			http.Error(w, fmt.Sprintf("fldist: update params frame: %v", err), http.StatusBadRequest)
 			return
 		}
-		base := sm.params[off : off+l]
-		for i := range dst {
-			v := dst[i] + base[i]
+		for _, v := range buf.params {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				s.bufPool.Put(buf)
 				http.Error(w, "non-finite value in update", http.StatusBadRequest)
 				return
 			}
-			dst[i] = v
 		}
-		off += l
+	} else {
+		// Stream the dense delta chunks into the pooled buffer,
+		// reconstructing base+delta and rejecting non-finite results as each
+		// chunk lands.
+		off := 0
+		for l := dec.NextLen(); l > 0; l = dec.NextLen() {
+			dst := buf.params[off : off+l]
+			if err := dec.Next(dst); err != nil {
+				s.bufPool.Put(buf)
+				http.Error(w, fmt.Sprintf("fldist: update params frame: %v", err), http.StatusBadRequest)
+				return
+			}
+			base := baseP[off : off+l]
+			for i := range dst {
+				v := dst[i] + base[i]
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					s.bufPool.Put(buf)
+					http.Error(w, "non-finite value in update", http.StatusBadRequest)
+					return
+				}
+				dst[i] = v
+			}
+			off += l
+		}
 	}
 
 	bnDec := &sc.bd
@@ -947,7 +1029,7 @@ func (s *Server) handleDeltaUpdate(w http.ResponseWriter, r *http.Request, start
 		return
 	}
 	for i := range buf.bn {
-		v := buf.bn[i] + sm.bn[i]
+		v := buf.bn[i] + baseBN[i]
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			s.bufPool.Put(buf)
 			http.Error(w, "non-finite value in update", http.StatusBadRequest)
@@ -960,14 +1042,20 @@ func (s *Server) handleDeltaUpdate(w http.ResponseWriter, r *http.Request, start
 		http.Error(w, "fldist: update envelope has trailing bytes", http.StatusBadRequest)
 		return
 	}
+	// Per-form attribution: a sparse push charges the sparse series on top
+	// of the compressed total, so /stats can split traffic by frame form.
+	counters := []*atomic.Int64{&s.updatesComp}
+	if sparse {
+		counters = append(counters, &s.updatesSparse)
+	}
 	if s.async {
 		rec := wrec
 		wrec = nil // ownership passes; finishUpdateAsync releases on rejection
-		s.finishUpdateAsync(w, clientID, round, weight, buf, true, &s.updatesComp,
-			sm.params, sm.bn, start, rec)
+		s.finishUpdateAsync(w, clientID, round, weight, buf, true, counters,
+			baseP, baseBN, start, rec)
 		return
 	}
-	s.finishUpdate(w, clientID, round, weight, buf, true, &s.updatesComp, start)
+	s.finishUpdate(w, clientID, round, weight, buf, true, counters, start)
 }
 
 // appendWriter is the tee target of the delta handler's WAL capture: an
@@ -1049,11 +1137,11 @@ func (s *Server) register(clientID, round int, weight float64, buf *updateBuf, p
 // admission, stats attribution, the round-advance barrier when the quorum
 // fills, and the HTTP verdict. pooled marks buffers leased from bufPool;
 // they are returned here on the non-admitted outcomes and by advanceRound
-// after the fold otherwise. counter attributes the update to the right
-// /stats series, charged only once the update actually counts toward the
-// round.
+// after the fold otherwise. counters attribute the update to its /stats
+// series (the compressed total plus, for a sparse push, the sparse subset),
+// charged only once the update actually counts toward the round.
 func (s *Server) finishUpdate(w http.ResponseWriter, clientID, round int, weight float64,
-	buf *updateBuf, pooled bool, counter *atomic.Int64, start time.Time) {
+	buf *updateBuf, pooled bool, counters []*atomic.Int64, start time.Time) {
 	outcome := s.register(clientID, round, weight, buf, pooled)
 	switch outcome {
 	case regStale, regQuorumFull:
@@ -1076,7 +1164,9 @@ func (s *Server) finishUpdate(w http.ResponseWriter, clientID, round int, weight
 		w.WriteHeader(http.StatusOK)
 		return
 	}
-	counter.Add(1)
+	for _, ctr := range counters {
+		ctr.Add(1)
+	}
 	s.admitLat.record(time.Since(start))
 	if outcome == regAdmittedLast {
 		s.advanceRound()
@@ -1170,7 +1260,7 @@ func (s *Server) registerAsync(clientID, baseRound int, weight float64, buf *upd
 // waits the commit out and retries — the update may still be admissible one
 // round later — instead of answering a premature 409.
 func (s *Server) finishUpdateAsync(w http.ResponseWriter, clientID, baseRound int, weight float64,
-	buf *updateBuf, pooled bool, counter *atomic.Int64, baseP, baseBN []float64, start time.Time,
+	buf *updateBuf, pooled bool, counters []*atomic.Int64, baseP, baseBN []float64, start time.Time,
 	wrec *walAdmit) {
 	// With a WAL attached and no wire-frame capture teed off by the caller
 	// (the raw-gob path has no frames to tee), capture the update's delta
@@ -1251,7 +1341,9 @@ func (s *Server) finishUpdateAsync(w http.ResponseWriter, clientID, baseRound in
 			w.WriteHeader(http.StatusOK)
 			return
 		}
-		counter.Add(1)
+		for _, ctr := range counters {
+			ctr.Add(1)
+		}
 		s.admitLat.record(time.Since(start))
 		if wrec != nil {
 			// Write this admission's record before a possible commit: the
@@ -1527,6 +1619,12 @@ func (s *Server) Stats() Stats {
 		PullP50Micros:      pullP50,
 		PullP99Micros:      pullP99,
 		ServedBuilds:       s.servedBuilds.Load(),
+		BytesInSparse:      s.bytesInSparse.Load(),
+		UpdatesSparse:      s.updatesSparse.Load(),
+		BytesOutDelta:      s.bytesOutDelta.Load(),
+		BytesOutCold:       s.bytesOutCold.Load(),
+		DeltaPulls:         s.deltaPulls.Load(),
+		ColdPulls:          s.coldPulls.Load(),
 	}
 	if s.wal != nil {
 		st.WAL = s.wal.stats()

@@ -277,6 +277,15 @@ func parseWALRecord(b []byte) (typ byte, seq uint64, payload []byte, size int, e
 // same byte-stable float64 framing the wire uses, so a logged snapshot
 // re-encodes to identical bytes and the corruption checks come for free.
 
+// walFormat is the log's feature level, appended as the meta payload's final
+// byte. Format 2 marks a log that may contain sparse (top-k) frames inside
+// frame-form admission records. The byte sits at the payload's *end* on
+// purpose: a pre-sparse binary's meta parser demanded exactly 17 bytes, so
+// it refuses a format-2 log outright instead of replaying sparse admissions
+// it cannot decode; this parser accepts the old 17-byte form (format 1) and
+// refuses formats above its own.
+const walFormat = 2
+
 func appendWALMeta(dst []byte, m walMeta) []byte {
 	mode := byte(0)
 	if m.async {
@@ -286,12 +295,17 @@ func appendWALMeta(dst []byte, m walMeta) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.quorumOrK))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.maxStale))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.nParams))
-	return binary.LittleEndian.AppendUint32(dst, uint32(m.nBN))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.nBN))
+	return append(dst, walFormat)
 }
 
 func parseWALMeta(p []byte) (walMeta, error) {
-	if len(p) != 17 {
-		return walMeta{}, fmt.Errorf("%w: meta payload %d bytes, want 17", ErrWAL, len(p))
+	if len(p) != 17 && len(p) != 18 {
+		return walMeta{}, fmt.Errorf("%w: meta payload %d bytes, want 17 or 18", ErrWAL, len(p))
+	}
+	if len(p) == 18 && p[17] > walFormat {
+		return walMeta{}, fmt.Errorf("%w: log format %d requires a newer binary (this one reads up to %d)",
+			ErrWAL, p[17], walFormat)
 	}
 	if p[0] > 1 {
 		return walMeta{}, fmt.Errorf("%w: meta mode %d", ErrWAL, p[0])
@@ -519,8 +533,8 @@ type wal struct {
 	// — logCommitLocked runs under serveMu and pendMu — so plain reuse between
 	// calls is safe, and it spares a model-sized allocation per round.
 	commitEnc []byte
-	syncing     bool // the background fsync goroutine is alive
-	idx         []walIdxEntry
+	syncing   bool // the background fsync goroutine is alive
+	idx       []walIdxEntry
 
 	admitPool sync.Pool // *walAdmit with model-sized dp/db
 

@@ -20,6 +20,17 @@ type Compression struct {
 	// DefaultChunk. Smaller chunks confine outliers better but spend one
 	// float64 scale per chunk of wire space.
 	Chunk int
+	// TopK, when > 0, sparsifies the uplink: each push carries only the K
+	// largest-magnitude coordinates of the error-fed delta as a sparse FPQ1
+	// frame, with the client-side error-feedback residual absorbing every
+	// coordinate sparsification drops. 0 sends dense frames.
+	TopK int
+	// Delta switches the downlink to per-client delta pulls: the client
+	// declares the round of the chain base it holds and receives only the
+	// quantized, error-fed global delta(s) against that base (docs/WIRE.md,
+	// "Delta downlink"). A client without a usable base receives the chain
+	// base itself, raw, as a cold pull.
+	Delta bool
 }
 
 // DefaultChunk is the chunk size used when Compression.Chunk is 0: 8 bytes
@@ -32,6 +43,11 @@ const DefaultChunk = 256
 // huge header-supplied values only serve to stress the server.
 const maxChunk = 1 << 20
 
+// maxTopK bounds the accepted uplink sparsity: beyond 16M coordinates the
+// header-supplied value no longer describes any plausible model and only
+// serves to stress the server.
+const maxTopK = 1 << 24
+
 // normalize applies defaults and validates the configuration.
 func (c Compression) normalize() (Compression, error) {
 	if c.Chunk == 0 {
@@ -43,7 +59,23 @@ func (c Compression) normalize() (Compression, error) {
 	if c.Chunk < 1 || c.Chunk > maxChunk {
 		return c, fmt.Errorf("fldist: compression chunk %d outside [1,%d]", c.Chunk, maxChunk)
 	}
+	if c.TopK < 0 || c.TopK > maxTopK {
+		return c, fmt.Errorf("fldist: compression topk %d outside [0,%d]", c.TopK, maxTopK)
+	}
 	return c, nil
+}
+
+// serveKey is the served-variant identity of a negotiated Compression.
+// Without Delta, TopK shapes only what the *client* sends — every uplink-only
+// top-k client pulls the same dense body (and pushes against the same dense
+// base) as a plain client at the same (bits, chunk), so TopK is erased from
+// the key and they share one cache entry and one downlink-EF chain. With
+// Delta, TopK shapes the served delta frames themselves and stays in the key.
+func (c Compression) serveKey() Compression {
+	if !c.Delta {
+		c.TopK = 0
+	}
+	return c
 }
 
 // Wire negotiation and body framing constants. A client that wants
@@ -65,15 +97,32 @@ const (
 	contentTypeGob   = "application/octet-stream"
 	contentTypeModel = "application/x-fldist-model"
 	contentTypeDelta = "application/x-fldist-delta"
+	// contentTypeModelDelta marks a catch-up pull body: an FPD1 envelope of
+	// per-round delta frames against the chain base the client declared,
+	// instead of a full FPM1 model body.
+	contentTypeModelDelta = "application/x-fldist-mdelta"
 
 	modelMagic  = "FPM1"
 	updateMagic = "FPU1"
+	deltaMagic  = "FPD1"
 	envVersion  = 1
 )
 
-// codecValue formats the negotiation header value.
+// codecValue formats the negotiation header value. New parameters are only
+// emitted when set, so a client at the PR-3 parameter set produces the exact
+// header an old server accepts; a server that predates a parameter answers
+// 400 to it (parseCodec's unknown-parameter rule) rather than silently
+// serving the wrong protocol — the client operator hears about the
+// downgrade instead of debugging a hung delta chain.
 func codecValue(c Compression) string {
-	return fmt.Sprintf("%s;bits=%d;chunk=%d", codecName, c.Bits, c.Chunk)
+	v := fmt.Sprintf("%s;bits=%d;chunk=%d", codecName, c.Bits, c.Chunk)
+	if c.TopK > 0 {
+		v += ";topk=" + strconv.Itoa(c.TopK)
+	}
+	if c.Delta {
+		v += ";delta=1"
+	}
+	return v
 }
 
 // parseCodec parses a negotiation header value. An empty value reports
@@ -83,41 +132,57 @@ func codecValue(c Compression) string {
 // walks the string with strings.Cut instead of splitting into a slice — it
 // runs on the pull hot path of every compressed GET /model, where a
 // per-request allocation is measurable at high fan-out.
-func parseCodec(v string) (Compression, bool, error) {
+//
+// base is per-request state, not part of the codec identity: a delta-pull
+// client appends `;base=R` to declare the round of the chain base it holds.
+// Absent, base reports −1 (no usable base — serve the chain cold).
+func parseCodec(v string) (c Compression, base int, ok bool, err error) {
+	base = -1
 	v = strings.TrimSpace(v)
 	if v == "" {
-		return Compression{}, false, nil
+		return Compression{}, base, false, nil
 	}
 	name, rest, _ := strings.Cut(v, ";")
 	if strings.TrimSpace(name) != codecName {
-		return Compression{}, false, fmt.Errorf("fldist: unsupported codec %q", name)
+		return Compression{}, base, false, fmt.Errorf("fldist: unsupported codec %q", name)
 	}
-	var c Compression
 	for rest != "" {
 		var p string
 		p, rest, _ = strings.Cut(rest, ";")
 		k, val, found := strings.Cut(strings.TrimSpace(p), "=")
 		if !found {
-			return Compression{}, false, fmt.Errorf("fldist: malformed codec parameter %q", p)
+			return Compression{}, base, false, fmt.Errorf("fldist: malformed codec parameter %q", p)
 		}
 		n, err := strconv.Atoi(val)
 		if err != nil {
-			return Compression{}, false, fmt.Errorf("fldist: codec parameter %q: %w", p, err)
+			return Compression{}, base, false, fmt.Errorf("fldist: codec parameter %q: %w", p, err)
 		}
 		switch k {
 		case "bits":
 			c.Bits = n
 		case "chunk":
 			c.Chunk = n
+		case "topk":
+			c.TopK = n
+		case "delta":
+			if n != 1 {
+				return Compression{}, base, false, fmt.Errorf("fldist: codec parameter delta=%d, want 1", n)
+			}
+			c.Delta = true
+		case "base":
+			if n < 0 {
+				return Compression{}, base, false, fmt.Errorf("fldist: codec parameter base=%d negative", n)
+			}
+			base = n
 		default:
-			return Compression{}, false, fmt.Errorf("fldist: unknown codec parameter %q", k)
+			return Compression{}, base, false, fmt.Errorf("fldist: unknown codec parameter %q", k)
 		}
 	}
-	c, err := c.normalize()
+	c, err = c.normalize()
 	if err != nil {
-		return Compression{}, false, err
+		return Compression{}, -1, false, err
 	}
-	return c, true, nil
+	return c, base, true, nil
 }
 
 // encodeModelEnvelope frames a global-model pull: a fixed header carrying
@@ -176,6 +241,20 @@ type Stats struct {
 	UpdatesCompressed  int64   `json:"updates_compressed"`
 	AdmitP50Micros     float64 `json:"admit_p50_us"`
 	AdmitP99Micros     float64 `json:"admit_p99_us"`
+
+	// Per-frame-form splits of the compressed byte counters (each is a
+	// subset of the matching *Compressed total, so the dense share is the
+	// difference): BytesInSparse covers pushes whose params frame arrived in
+	// the sparse top-k form; BytesOutDelta covers catch-up pull bodies (FPD1
+	// delta envelopes); BytesOutCold covers delta-mode cold pulls (the raw
+	// chain base a returning client without a usable base receives).
+	// UpdatesSparse / DeltaPulls / ColdPulls count the same events.
+	BytesInSparse int64 `json:"bytes_in_sparse"`
+	UpdatesSparse int64 `json:"updates_sparse"`
+	BytesOutDelta int64 `json:"bytes_out_delta"`
+	BytesOutCold  int64 `json:"bytes_out_cold"`
+	DeltaPulls    int64 `json:"delta_pulls"`
+	ColdPulls     int64 `json:"cold_pulls"`
 
 	// PullP50Micros/PullP99Micros are per-pull serve-time percentiles
 	// (request parse → body written) over the same sliding-window ring as

@@ -22,6 +22,10 @@ import (
 //	        bits = 0:  n × float64 little-endian
 //	        bits ≥ 2:  per chunk: float64 LE scale, then ceil(len·bits/8)
 //	                   packed code bytes (chunks start on byte boundaries)
+//
+// A bits byte with the high flag bit set (0x80 | bits) marks the sparse
+// top-k form, whose payload layout lives in sparse.go — receivers that
+// predate it reject the flagged value as out of range instead of misparsing.
 const (
 	frameMagic      = "FPQ1"
 	frameVersion    = 1
@@ -35,29 +39,41 @@ const (
 // distinguish malformed frames from transport failures with errors.Is.
 var ErrCodec = errors.New("quant: bad frame")
 
-// Frame is a decoded wire frame: either an exact float64 vector (Bits ==
-// RawBits, Raw set) or a chunk-quantized one (Bits ≥ 2, Q set).
+// Frame is a decoded wire frame: an exact float64 vector (Bits == RawBits,
+// Raw set), a dense chunk-quantized one (Bits ≥ 2, Q set), or a sparse
+// top-k one (Bits ≥ 2, Sparse set — Bits is the base code width with the
+// wire flag bit already stripped).
 type Frame struct {
-	Bits  int
-	Chunk int
-	Raw   []float64 // when Bits == RawBits
-	Q     Chunked   // when Bits ≥ 2
+	Bits   int
+	Chunk  int
+	Raw    []float64  // when Bits == RawBits
+	Q      Chunked    // when Bits ≥ 2 and Sparse == nil
+	Sparse *SparseVec // when the frame is sparse
 }
 
 // IsRaw reports whether the frame carries exact float64 values.
 func (f *Frame) IsRaw() bool { return f.Bits == RawBits }
 
+// IsSparse reports whether the frame stores only selected coordinates.
+func (f *Frame) IsSparse() bool { return f.Sparse != nil }
+
 // Len returns the number of float64 values the frame describes.
 func (f *Frame) Len() int {
+	if f.IsSparse() {
+		return f.Sparse.N
+	}
 	if f.IsRaw() {
 		return len(f.Raw)
 	}
 	return f.Q.N
 }
 
-// Vector materializes the frame's values: a copy of Raw, or the
-// dequantized chunks.
+// Vector materializes the frame's values: a copy of Raw, the dequantized
+// chunks, or the scatter of a sparse frame's stored values over zeros.
 func (f *Frame) Vector() []float64 {
+	if f.IsSparse() {
+		return f.Sparse.Dequantize()
+	}
 	if f.IsRaw() {
 		return append([]float64(nil), f.Raw...)
 	}
@@ -168,6 +184,21 @@ func DecodeFirst(b []byte) (*Frame, []byte, error) {
 	n := int(binary.LittleEndian.Uint32(b[6:10]))
 	chunk := int(binary.LittleEndian.Uint32(b[10:14]))
 	body := b[frameHeaderSize:]
+
+	if bits&sparseFlag != 0 {
+		base := bits &^ sparseFlag
+		if base < 2 || base > 8 {
+			return nil, nil, fmt.Errorf("%w: sparse bits %d outside [2,8]", ErrCodec, base)
+		}
+		if chunk < 1 {
+			return nil, nil, fmt.Errorf("%w: sparse frame with chunk %d", ErrCodec, chunk)
+		}
+		s, rest, err := decodeSparseBody(body, base, n, chunk)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &Frame{Bits: base, Chunk: chunk, Sparse: s}, rest, nil
+	}
 
 	if bits == RawBits {
 		if chunk != 0 {

@@ -1,0 +1,89 @@
+package quant
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at both decode paths. Invariants:
+//
+//   - neither path panics, whatever the input;
+//   - every rejection wraps ErrCodec (callers branch on errors.Is);
+//   - allocations stay proportional to the input (the t.SkipNow guard below
+//     only caps the *harness's* dense materialization — the decoders
+//     themselves must bound allocation before trusting any header field);
+//   - an accepted frame re-encodes byte-identically (canonical encoding);
+//   - the streaming decoder accepts exactly what the buffered decoder
+//     accepts, with identical values (modulo trailing bytes, which only the
+//     strict buffered path polices).
+//
+// `make fuzz` runs this seeded corpus plus a short live-fuzz pass in CI.
+func FuzzDecode(f *testing.F) {
+	for _, b := range goldenFrames() {
+		f.Add(b)
+		f.Add(b[:len(b)-1])       // truncated payload
+		f.Add(append(b, 0x7)[1:]) // sheared framing
+	}
+	sv, idx := goldenSparseInput()
+	hostile := EncodeSparse(sv, idx, 2, 3, nil)
+	f.Add(hostile)
+	f.Add([]byte("FPQ1"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, err := Decode(b)
+		if err != nil {
+			if !errors.Is(err, ErrCodec) {
+				t.Fatalf("Decode error does not wrap ErrCodec: %v", err)
+			}
+		} else {
+			var re []byte
+			switch {
+			case fr.IsSparse():
+				re = fr.Sparse.Encode()
+			case fr.IsRaw():
+				re = EncodeRaw(fr.Raw)
+			default:
+				re = Encode(fr.Q)
+			}
+			if !bytes.Equal(re, b) {
+				t.Fatalf("accepted frame re-encodes differently (%d → %d bytes)", len(b), len(re))
+			}
+		}
+
+		d, serr := NewStreamDecoder(bytes.NewReader(b))
+		if serr != nil {
+			if !errors.Is(serr, ErrCodec) {
+				t.Fatalf("stream header error does not wrap ErrCodec: %v", serr)
+			}
+			if err == nil {
+				t.Fatalf("buffered path accepted a frame the stream header rejects: %v", serr)
+			}
+			return
+		}
+		if d.Len() > 1<<22 {
+			// A sparse or truncated header may claim a huge n that the
+			// buffered length checks rejected; materializing it densely is
+			// the harness's cost, not the decoder's. Skip only the dense
+			// comparison — a frame this large can never have been accepted
+			// above (b is far too short), so nothing is lost.
+			if err == nil {
+				t.Fatalf("buffered path accepted a %d-value frame from %d bytes", d.Len(), len(b))
+			}
+			return
+		}
+		dst := make([]float64, d.Len())
+		derr := d.DecodeAll(dst)
+		if derr != nil && !errors.Is(derr, ErrCodec) {
+			t.Fatalf("stream decode error does not wrap ErrCodec: %v", derr)
+		}
+		if err == nil {
+			if derr != nil {
+				t.Fatalf("stream path rejected a frame the buffered path accepts: %v", derr)
+			}
+			if !reflect.DeepEqual(dst, fr.Vector()) {
+				t.Fatal("stream and buffered decodes disagree on values")
+			}
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package quant
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden frame vectors under testdata/")
+
+// The golden frame vectors: reference bytes for every FPQ1 frame form, the
+// conformance fixtures docs/WIRE.md points non-Go implementations at. Each
+// entry is a deterministic input whose encoding must stay byte-identical
+// forever — any codec change that shifts these bytes is a wire protocol
+// break, not a refactor.
+
+// goldenDense returns the 13-value vector behind the raw and dense fixtures.
+// Every value is exactly representable (multiples of 0.25), so quantization
+// scales and codes are platform-independent.
+func goldenDense() []float64 {
+	v := make([]float64, 13)
+	for i := range v {
+		v[i] = float64(i%7-3) * 0.25 * float64(1+i/7)
+	}
+	v[4] = 0 // a zero inside a chunk
+	return v
+}
+
+// goldenSparseInput returns the 400-value vector and hand-picked index set
+// behind the sparse fixtures. The deltas exercise a leading zero index,
+// consecutive indices, a 1-byte maximum delta (127) and a 2-byte varint
+// delta (160), and the final index lands in the last chunk.
+func goldenSparseInput() ([]float64, []int) {
+	v := make([]float64, 400)
+	idx := []int{0, 3, 130, 131, 140, 300, 399}
+	for j, ix := range idx {
+		v[ix] = float64(j-3) * 0.5
+	}
+	v[0] = 2.25 // keep index 0 nonzero after the j-3 formula zeroes j=3
+	return v, idx
+}
+
+func goldenFrames() map[string][]byte {
+	dense := goldenDense()
+	sv, idx := goldenSparseInput()
+	return map[string][]byte{
+		"fpq1_raw.bin":     EncodeRaw(dense),
+		"fpq1_dense8.bin":  Encode(QuantizeChunks(dense, 8, 4)),
+		"fpq1_dense4.bin":  Encode(QuantizeChunks(dense, 4, 4)),
+		"fpq1_sparse8.bin": EncodeSparse(sv, idx, 8, 64, nil),
+		"fpq1_sparse4.bin": EncodeSparse(sv, idx, 4, 64, nil),
+	}
+}
+
+// TestGoldenFrameVectors pins every frame form's encoding to the checked-in
+// reference bytes, and proves each checked-in file still decodes to the
+// form and shape it documents. Regenerate with `go test ./internal/quant
+// -run GoldenFrameVectors -update` after an intentional protocol change.
+func TestGoldenFrameVectors(t *testing.T) {
+	frames := goldenFrames()
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, b := range frames {
+			if err := os.WriteFile(filepath.Join("testdata", name), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote testdata/%s (%d bytes)", name, len(b))
+		}
+		return
+	}
+	for name, want := range frames {
+		got, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to regenerate)", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: checked-in bytes differ from the current encoder — wire protocol break", name)
+		}
+		fr, err := Decode(got)
+		if err != nil {
+			t.Fatalf("%s: checked-in frame fails to decode: %v", name, err)
+		}
+		switch {
+		case fr.IsRaw():
+			if name != "fpq1_raw.bin" || fr.Len() != 13 {
+				t.Errorf("%s: decoded as raw/%d", name, fr.Len())
+			}
+		case fr.IsSparse():
+			if fr.Len() != 400 || len(fr.Sparse.Idx) != 7 {
+				t.Errorf("%s: decoded as sparse n=%d k=%d", name, fr.Len(), len(fr.Sparse.Idx))
+			}
+			if fmt.Sprintf("fpq1_sparse%d.bin", fr.Bits) != name {
+				t.Errorf("%s: decoded at %d bits", name, fr.Bits)
+			}
+		default:
+			if fr.Len() != 13 || fmt.Sprintf("fpq1_dense%d.bin", fr.Bits) != name {
+				t.Errorf("%s: decoded as dense %d-bit/%d values", name, fr.Bits, fr.Len())
+			}
+		}
+	}
+}

@@ -159,11 +159,12 @@ const rawBlock = 512
 // violations return errors wrapping ErrCodec, exactly as Decode does, and the
 // decoder never reads past the end of its frame — trailing bytes stay in r.
 type StreamDecoder struct {
-	r     io.Reader
-	bits  int
-	chunk int
-	n     int
-	done  int
+	r      io.Reader
+	bits   int
+	chunk  int
+	n      int
+	done   int
+	sparse bool
 }
 
 // NewStreamDecoder reads and validates a frame header from r.
@@ -194,6 +195,17 @@ func (d *StreamDecoder) Reset(r io.Reader) error {
 	d.n = int(binary.LittleEndian.Uint32(hdr[6:10]))
 	d.chunk = int(binary.LittleEndian.Uint32(hdr[10:14]))
 	d.done = 0
+	d.sparse = d.bits&sparseFlag != 0
+	if d.sparse {
+		d.bits &^= sparseFlag
+		if d.bits < 2 || d.bits > 8 {
+			return fmt.Errorf("%w: sparse bits %d outside [2,8]", ErrCodec, d.bits)
+		}
+		if d.chunk < 1 {
+			return fmt.Errorf("%w: sparse frame with chunk %d", ErrCodec, d.chunk)
+		}
+		return nil
+	}
 	if d.bits == RawBits {
 		if d.chunk != 0 {
 			return fmt.Errorf("%w: raw frame with chunk %d", ErrCodec, d.chunk)
@@ -219,12 +231,20 @@ func (d *StreamDecoder) Chunk() int { return d.chunk }
 func (d *StreamDecoder) Len() int { return d.n }
 
 // IsRaw reports whether the frame carries exact float64 values.
-func (d *StreamDecoder) IsRaw() bool { return d.bits == RawBits }
+func (d *StreamDecoder) IsRaw() bool { return d.bits == RawBits && !d.sparse }
+
+// IsSparse reports whether the frame is the sparse top-k form. Sparse frames
+// are consumed whole via ApplySparse (or DecodeAll), not block-by-block —
+// their occupied chunks are not knowable from the header alone.
+func (d *StreamDecoder) IsSparse() bool { return d.sparse }
 
 // NextLen returns the value count of the next Next call's block: the next
 // chunk for quantized frames, up to rawBlock values for raw frames, 0 once
-// the frame is fully decoded.
+// the frame is fully decoded. Sparse frames report 0 — use ApplySparse.
 func (d *StreamDecoder) NextLen() int {
+	if d.sparse {
+		return 0
+	}
 	rem := d.n - d.done
 	if rem <= 0 {
 		return 0
@@ -243,6 +263,9 @@ func (d *StreamDecoder) NextLen() int {
 // NextLen() values. It returns io.EOF (with no values written) once the
 // frame is complete.
 func (d *StreamDecoder) Next(dst []float64) error {
+	if d.sparse {
+		return fmt.Errorf("quant: stream decoder Next on a sparse frame; use ApplySparse")
+	}
 	want := d.NextLen()
 	if want == 0 {
 		return io.EOF
@@ -279,11 +302,18 @@ func (d *StreamDecoder) Next(dst []float64) error {
 
 // DecodeAll decodes the frame's remaining values into dst, which must hold
 // exactly Len()−(values already decoded) values, block by block with pooled
-// O(chunk) scratch.
+// O(chunk) scratch. A sparse frame decodes as its dense materialization:
+// stored values at their indices, exact zeros elsewhere.
 func (d *StreamDecoder) DecodeAll(dst []float64) error {
 	if len(dst) != d.n-d.done {
 		return fmt.Errorf("quant: stream decoder DecodeAll got %d-value dst, frame has %d left",
 			len(dst), d.n-d.done)
+	}
+	if d.sparse {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return d.applySparse(dst)
 	}
 	off := 0
 	for l := d.NextLen(); l > 0; l = d.NextLen() {
@@ -292,5 +322,131 @@ func (d *StreamDecoder) DecodeAll(dst []float64) error {
 		}
 		off += l
 	}
+	return nil
+}
+
+// ApplySparse consumes a sparse frame, scatter-adding its stored dequantized
+// values onto dst (which must hold Len() values) and leaving every unstored
+// coordinate untouched — the error-feedback apply: pass the base vector in,
+// get base + decoded delta out. Structural violations wrap ErrCodec, and the
+// decoder's allocations stay proportional to the bytes actually read, so an
+// adversarial header cannot force an oversized buffer.
+func (d *StreamDecoder) ApplySparse(dst []float64) error {
+	if !d.sparse {
+		return fmt.Errorf("quant: ApplySparse on a non-sparse frame")
+	}
+	if d.done != 0 {
+		return fmt.Errorf("quant: ApplySparse on a consumed frame")
+	}
+	if len(dst) != d.n {
+		return fmt.Errorf("quant: ApplySparse got %d-value dst, frame has %d", len(dst), d.n)
+	}
+	return d.applySparse(dst)
+}
+
+// byteReaderAdapter lifts a plain io.Reader to io.ByteReader for varint
+// decoding; buffered callers (the server wraps push bodies in bufio) hit the
+// native ReadByte instead.
+type byteReaderAdapter struct {
+	r   io.Reader
+	buf [1]byte
+}
+
+func (b *byteReaderAdapter) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.buf[:]); err != nil {
+		return 0, err
+	}
+	return b.buf[0], nil
+}
+
+// readUvarintCanonical decodes one canonical uvarint of at most 5 bytes —
+// the streaming twin of uvarint32, with identical acceptance.
+func readUvarintCanonical(br io.ByteReader) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < 5; i++ {
+		c, err := br.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("%w: truncated varint: %v", ErrCodec, err)
+		}
+		if c < 0x80 {
+			if i > 0 && c == 0 {
+				return 0, fmt.Errorf("%w: overlong varint", ErrCodec)
+			}
+			return x | uint64(c)<<s, nil
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+	}
+	return 0, fmt.Errorf("%w: varint longer than 5 bytes", ErrCodec)
+}
+
+func (d *StreamDecoder) applySparse(dst []float64) error {
+	var cnt [4]byte
+	if _, err := io.ReadFull(d.r, cnt[:]); err != nil {
+		return fmt.Errorf("%w: sparse count: %v", ErrCodec, err)
+	}
+	k := int(binary.LittleEndian.Uint32(cnt[:]))
+	if k > d.n {
+		return fmt.Errorf("%w: sparse count %d exceeds n %d", ErrCodec, k, d.n)
+	}
+	br, ok := d.r.(io.ByteReader)
+	if !ok {
+		br = &byteReaderAdapter{r: d.r}
+	}
+	// Grow the index slice as varints arrive instead of trusting k upfront:
+	// every stored index costs at least one wire byte, so memory stays
+	// proportional to input actually read even under an adversarial count.
+	var idx []uint32
+	prev := 0
+	for i := 0; i < k; i++ {
+		x, err := readUvarintCanonical(br)
+		if err != nil {
+			return fmt.Errorf("sparse index %d: %w", i, err)
+		}
+		if i > 0 && x == 0 {
+			return fmt.Errorf("%w: sparse index %d repeats its predecessor", ErrCodec, i)
+		}
+		if x > uint64(d.n) {
+			return fmt.Errorf("%w: sparse index delta %d exceeds n %d", ErrCodec, x, d.n)
+		}
+		ix := prev + int(x)
+		if i == 0 {
+			ix = int(x)
+		}
+		if ix >= d.n {
+			return fmt.Errorf("%w: sparse index %d outside [0,%d)", ErrCodec, ix, d.n)
+		}
+		idx = append(idx, uint32(ix))
+		prev = ix
+	}
+	vals := make([]float64, 0, d.chunk)
+	for i := 0; i < len(idx); {
+		c := int(idx[i]) / d.chunk
+		j := i + 1
+		for j < len(idx) && int(idx[j])/d.chunk == c {
+			j++
+		}
+		m := j - i
+		nb := codeBytes(m, d.bits)
+		buf := getScratch(8 + nb)
+		if _, err := io.ReadFull(d.r, *buf); err != nil {
+			putScratch(buf)
+			return fmt.Errorf("%w: sparse chunk block: %v", ErrCodec, err)
+		}
+		scale := math.Float64frombits(binary.LittleEndian.Uint64((*buf)[:8]))
+		if math.IsNaN(scale) || math.IsInf(scale, 0) || scale < 0 {
+			putScratch(buf)
+			return fmt.Errorf("%w: sparse chunk scale %v not a finite non-negative value", ErrCodec, scale)
+		}
+		vals = vals[:m]
+		unpackCodes(vals, (*buf)[8:], scale, d.bits)
+		putScratch(buf)
+		for t := 0; t < m; t++ {
+			dst[idx[i+t]] += vals[t]
+		}
+		i = j
+	}
+	d.done = d.n
 	return nil
 }
