@@ -1,7 +1,7 @@
 # Build, verify and benchmark the FedProphet reproduction.
 #
-#   make ci      - everything the tier-1 gate runs: build, vet, test, race,
-#                  codec fuzz pass, docs links
+#   make ci      - everything the tier-1 gate runs: build, vet, lint, test,
+#                  race, codec fuzz pass, docs links
 #   make bench   - repository benchmarks (paper tables/figures) with -benchmem
 #   make bench-parallel - client-parallelism wall-clock benchmark
 #   make bench-conv     - direct vs GEMM convolution backend benchmark
@@ -25,11 +25,13 @@
 #                         mid-round twice, recovered, federation finished,
 #                         final model bit-identical (in ci)
 #   make check-docs     - fail on dead relative links in README/docs
+#   make lint    - fplint: the repo's own analyzers (atomicfield, lockorder,
+#                  determinism, sentinelerr, poolleak) over the whole module
 #   make cover   - tests with coverage summary
 
 GO ?= go
 
-.PHONY: all build vet test test-race fuzz check-docs smoke-serve smoke-edge smoke-pull smoke-wal ci bench bench-parallel bench-conv bench-json bench-wire bench-serve cover clean
+.PHONY: all build vet lint test test-race fuzz check-docs smoke-serve smoke-edge smoke-pull smoke-wal ci bench bench-parallel bench-conv bench-json bench-wire bench-serve cover clean
 
 all: ci
 
@@ -38,6 +40,17 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# fplint (cmd/fplint + internal/lint) machine-checks the invariants
+# docs/ARCHITECTURE.md documents in prose: atomic fields stay atomic, mutexes
+# respect the declared hierarchy, deterministic packages stay clock- and
+# map-order-free, sentinel errors are matched with errors.Is, and pooled
+# buffers are always returned. Built from this module with the standard
+# library only — pinned, offline, no tool downloads. Also runnable as
+# `go vet -vettool=$(CURDIR)/bin/fplint ./...`.
+lint:
+	$(GO) build -o bin/fplint ./cmd/fplint
+	./bin/fplint ./...
 
 test:
 	$(GO) test ./...
@@ -89,7 +102,9 @@ smoke-pull:
 smoke-wal:
 	GOMAXPROCS=4 $(GO) run ./cmd/benchserve -smoke-wal
 
-ci: build vet test test-race fuzz check-docs smoke-serve smoke-edge smoke-pull smoke-wal
+# lint runs right after vet: invariant violations fail the build before the
+# minutes-long test/race/smoke stages spend their time.
+ci: build vet lint test test-race fuzz check-docs smoke-serve smoke-edge smoke-pull smoke-wal
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .

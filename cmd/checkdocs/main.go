@@ -14,12 +14,19 @@
 // directory or the -gosrc root (comments conventionally name repo-root
 // paths like docs/WIRE.md).
 //
+// -gosrc additionally turns on test-name checking: every Test/Benchmark/Fuzz
+// token the markdown files mention (docs/ARCHITECTURE.md cites tests as
+// evidence for its claims) must be a function actually declared in *_test.go
+// under the root, so renaming or deleting a test breaks the build until the
+// document catches up.
+//
 //	go run ./cmd/checkdocs -gosrc . README.md ROADMAP.md docs
 package main
 
 import (
 	"flag"
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
@@ -37,6 +44,11 @@ var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 // ending in .md. The first character must be alphanumeric so glob patterns
 // ("*.md") and a bare ".md" are not picked up.
 var mdRefRe = regexp.MustCompile(`[A-Za-z0-9_][A-Za-z0-9_./-]*\.md\b`)
+
+// testTokenRe matches a Go test-function name cited in prose: the standard
+// Test/Benchmark/Fuzz prefix followed by an exported-style name, which is
+// also what the testing package itself requires of a runnable test.
+var testTokenRe = regexp.MustCompile(`\b(?:Test|Benchmark|Fuzz)[A-Z][A-Za-z0-9_]*`)
 
 func main() {
 	gosrc := flag.String("gosrc", "",
@@ -72,12 +84,32 @@ func main() {
 		}
 	}
 
+	// With a Go root available, markdown claims about tests are checkable:
+	// collect every declared Test/Benchmark/Fuzz function up front.
+	var testDecls map[string]bool
+	if *gosrc != "" {
+		var err error
+		testDecls, err = collectTestDecls(*gosrc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkdocs: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	dead := 0
 	for _, file := range files {
 		body, err := os.ReadFile(file)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "checkdocs: %v\n", err)
 			os.Exit(2)
+		}
+		if testDecls != nil {
+			for _, tok := range testTokenRe.FindAllString(string(body), -1) {
+				if !testDecls[tok] {
+					fmt.Printf("%s: names test %q but no *_test.go declares it\n", file, tok)
+					dead++
+				}
+			}
 		}
 		for _, m := range linkRe.FindAllStringSubmatch(string(body), -1) {
 			target := m[1]
@@ -115,6 +147,42 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("checkdocs: %d markdown + %d Go file(s), all *.md references resolve\n", len(files), goFiles)
+}
+
+// collectTestDecls walks root for *_test.go files and returns the names of
+// every top-level Test/Benchmark/Fuzz function they declare.
+func collectTestDecls(root string) (map[string]bool, error) {
+	decls := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil {
+				continue
+			}
+			if testTokenRe.FindString(fd.Name.Name) == fd.Name.Name {
+				decls[fd.Name.Name] = true
+			}
+		}
+		return nil
+	})
+	return decls, err
 }
 
 // checkGoComments walks root for Go sources and reports every *.md file

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 
@@ -86,7 +87,14 @@ func main() {
 	fmt.Printf("AA Acc:    %.2f%%\n", res.AAAcc*100)
 	fmt.Printf("Training time: %.3fs (compute %.3fs, data access %.3fs)\n",
 		res.Latency.Total(), res.Latency.Compute, res.Latency.DataAccess)
-	for k, v := range res.Extra {
-		fmt.Printf("%s: %.4g\n", k, v)
+	// Sorted keys: the CLI's determinism contract is byte-identical stdout
+	// for identical seeded runs, and map range order would break it.
+	keys := make([]string, 0, len(res.Extra))
+	for k := range res.Extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s: %.4g\n", k, res.Extra[k])
 	}
 }

@@ -65,8 +65,8 @@ func TestForEachClientSlotBounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if maxSlot >= 3 {
-		t.Fatalf("slot %d out of worker bound 3", maxSlot)
+	if got := atomic.LoadInt64(&maxSlot); got >= 3 {
+		t.Fatalf("slot %d out of worker bound 3", got)
 	}
 }
 

@@ -3,6 +3,12 @@
 // fleet, hyperparameters), client sampling, weighted parameter aggregation
 // (FedAvg), the Method/Result training contract, the method registry, and
 // the bounded worker pool that trains a round's clients concurrently.
+//
+// The package is deterministic: sampling and per-client training randomness
+// flow from explicit per-round seeds, never the global rand source, so a run
+// is reproducible from its seed regardless of worker count or scheduling.
+//
+//lint:deterministic
 package fl
 
 import (

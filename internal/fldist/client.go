@@ -782,5 +782,6 @@ func jitterDur(d time.Duration) time.Duration {
 	if half <= 0 {
 		return d
 	}
+	//lint:ignore determinism retry jitter decorrelates clients; it paces requests and never reaches model state
 	return time.Duration(half + rand.Int63n(half))
 }

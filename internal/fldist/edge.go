@@ -441,6 +441,7 @@ func (e *Edge) flusher(ctx context.Context) {
 		if oldest == 0 {
 			return false
 		}
+		//lint:ignore determinism flush-age pacing only; which updates flush is decided by count and round, their bytes by content
 		remaining := e.flushAge - time.Since(time.Unix(0, oldest))
 		if remaining <= 0 {
 			return true

@@ -420,6 +420,7 @@ func serverFromWAL(w *wal, st *walRecovered, opts []ServerOption) (*Server, erro
 				vals: buf.bn, base: baseBN})
 		}
 		if s.pendingN > 0 {
+			//lint:ignore determinism admission age clock paces edge flushes; replayed state is unaffected
 			s.oldestAdmit.Store(time.Now().UnixNano())
 		}
 	}

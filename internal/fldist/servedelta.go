@@ -400,5 +400,6 @@ func (s *Server) handleDeltaModel(w http.ResponseWriter, c Compression, baseR in
 		s.coldPulls.Add(1)
 		s.bytesOutCold.Add(int64(n))
 	}
+	//lint:ignore determinism latency histogram only; /stats is observability, not state
 	s.pullLat.record(time.Since(start))
 }

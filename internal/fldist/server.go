@@ -37,6 +37,14 @@
 // stays inside the window, and fleet throughput is no longer gated by the
 // slowest client. The wire protocol is identical in both modes (the update
 // envelope always carried its base round; see docs/WIRE.md).
+//
+// The package is marked deterministic: commits, WAL records, and served
+// frames must be pure functions of the admitted updates so crash recovery
+// and cross-node aggregation reconverge bit-for-bit. Wall-clock and jitter
+// reads are confined to individually justified sites (fplint enforces this;
+// see docs/ARCHITECTURE.md, "Static analysis").
+//
+//lint:deterministic
 package fldist
 
 import (
@@ -54,6 +62,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -90,9 +99,9 @@ type Update struct {
 //     whenever bufferK updates have buffered. No quorum barrier, no wasted
 //     training pass inside the window.
 //
-// Lock hierarchy (see docs/ARCHITECTURE.md):
-//
-//	serveMu → pendMu → shard.mu
+// Lock hierarchy (see docs/ARCHITECTURE.md). The machine-readable
+// declaration below is the single source of truth fplint's lockorder
+// analyzer checks every acquisition against:
 //
 // model is an atomic copy-on-write snapshot — reads take no lock at all.
 // pendMu guards only the small admission registry (dedup set + quorum
@@ -102,6 +111,8 @@ type Update struct {
 // served-model cache and downlink error-feedback state, touched once per
 // client per round on pulls, never on the push fast path. All counters are
 // atomics.
+//
+//lint:lockorder servedEntry.mu -> Server.serveMu -> Server.pendMu -> shard.mu
 type Server struct {
 	updatesPerRound int
 	nShards         int
@@ -444,6 +455,7 @@ func (c *countReader) Read(p []byte) (int, error) {
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	//lint:ignore determinism pull-latency stats only; never reaches served or replayed state
 	start := time.Now()
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
@@ -478,6 +490,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Length", sm.clen)
 		n, _ := w.Write(sm.body)
 		s.bytesOutComp.Add(int64(n))
+		//lint:ignore determinism latency histogram only; /stats is observability, not state
 		s.pullLat.record(time.Since(start))
 		return
 	}
@@ -488,6 +501,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	n, _ := w.Write(body)
 	s.bytesOutRaw.Add(int64(n))
+	//lint:ignore determinism latency histogram only; /stats is observability, not state
 	s.pullLat.record(time.Since(start))
 }
 
@@ -738,6 +752,7 @@ var pushScratchPool = sync.Pool{
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	//lint:ignore determinism admit-latency stats only; never reaches folded or replayed state
 	start := time.Now()
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -1167,6 +1182,7 @@ func (s *Server) finishUpdate(w http.ResponseWriter, clientID, round int, weight
 	for _, ctr := range counters {
 		ctr.Add(1)
 	}
+	//lint:ignore determinism latency histogram only; /stats is observability, not state
 	s.admitLat.record(time.Since(start))
 	if outcome == regAdmittedLast {
 		s.advanceRound()
@@ -1227,6 +1243,7 @@ func (s *Server) registerAsync(clientID, baseRound int, weight float64, buf *upd
 	set[clientID] = true
 	s.pendingN++
 	if s.pendingN == 1 {
+		//lint:ignore determinism admission age clock paces edge flushes; folded bytes are unaffected
 		s.oldestAdmit.Store(time.Now().UnixNano())
 	}
 	if pooled {
@@ -1344,6 +1361,7 @@ func (s *Server) finishUpdateAsync(w http.ResponseWriter, clientID, baseRound in
 		for _, ctr := range counters {
 			ctr.Add(1)
 		}
+		//lint:ignore determinism latency histogram only; /stats is observability, not state
 		s.admitLat.record(time.Since(start))
 		if wrec != nil {
 			// Write this admission's record before a possible commit: the
@@ -1368,7 +1386,9 @@ func (s *Server) finishUpdateAsync(w http.ResponseWriter, clientID, baseRound in
 // while /round still reports the old round. The fold is O(model) work in
 // another handler — milliseconds — but a deadline bounds the wait anyway.
 func (s *Server) awaitRoundAdvance(round int) {
+	//lint:ignore determinism deadline bounds a wait; the published snapshot is the same either way
 	deadline := time.Now().Add(2 * time.Second)
+	//lint:ignore determinism deadline bounds a wait; the published snapshot is the same either way
 	for s.model.Load().round == round && time.Now().Before(deadline) {
 		time.Sleep(100 * time.Microsecond)
 	}
@@ -1435,6 +1455,11 @@ func (s *Server) logCommitLocked(next *snapshot) {
 	for comp, res := range s.downErr {
 		c.downErr = append(c.downErr, walVariantErr{comp: comp, residual: res})
 	}
+	// The record must be byte-identical across runs for replay to reconverge;
+	// map iteration order is not.
+	sort.Slice(c.downErr, func(i, j int) bool {
+		return c.downErr[i].comp.less(c.downErr[j].comp)
+	})
 	_ = s.wal.appendCommit(s.wal.reserve(), c)
 }
 

@@ -33,6 +33,22 @@ type Compression struct {
 	Delta bool
 }
 
+// less orders Compression values by (Bits, Chunk, TopK, Delta) — an
+// arbitrary but total order, used wherever variants collected from a map
+// must serialize deterministically (WAL commit records).
+func (c Compression) less(o Compression) bool {
+	if c.Bits != o.Bits {
+		return c.Bits < o.Bits
+	}
+	if c.Chunk != o.Chunk {
+		return c.Chunk < o.Chunk
+	}
+	if c.TopK != o.TopK {
+		return c.TopK < o.TopK
+	}
+	return !c.Delta && o.Delta
+}
+
 // DefaultChunk is the chunk size used when Compression.Chunk is 0: 8 bytes
 // of scale amortized over 256 values costs ~3% overhead while still
 // isolating outliers to 256-value neighborhoods.

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicFieldAnalyzer enforces the repository's "all-atomic stats" rule in
+// mechanical form: once a variable or struct field is accessed through
+// sync/atomic anywhere in the package, every access must be atomic — a plain
+// read may observe a torn or stale value and a plain write can be lost, and
+// either silently breaks the guarantee that a /stats poll never needs a lock.
+// Typed atomics (atomic.Int64 and family) cannot be read plainly, but copying
+// one by value forks its state; those copies are flagged too.
+var AtomicFieldAnalyzer = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "flags plain reads/writes of variables that are elsewhere accessed through sync/atomic, and by-value copies of typed atomics",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	info := pass.Pkg.Info
+
+	// Pass 1: every variable whose address feeds a sync/atomic function is an
+	// atomic variable from then on, package-wide.
+	atomicVars := map[types.Object]token.Pos{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(info, call) || len(call.Args) == 0 {
+				return true
+			}
+			if addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && addr.Op == token.AND {
+				if obj := rootObj(info, addr.X); obj != nil {
+					if _, seen := atomicVars[obj]; !seen {
+						atomicVars[obj] = call.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag every non-atomic use of those variables, and every
+	// by-value use of a typed atomic.
+	for _, f := range pass.Pkg.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			if e, ok := n.(ast.Expr); ok && flagTypedAtomicCopy(info, e, stack) {
+				pass.Reportf(n.Pos(),
+					"%s is copied by value; a copied atomic forks its state — share it by pointer",
+					typeString(info, e))
+				return
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				return
+			}
+			if _, tracked := atomicVars[obj]; !tracked {
+				return
+			}
+			if sanctionedAtomicUse(info, id, stack) {
+				return
+			}
+			verb := "read"
+			if isWriteContext(stack, id) {
+				verb = "written"
+			}
+			pass.Reportf(id.Pos(),
+				"%s is accessed with sync/atomic (%s) but %s plainly here; use the atomic API everywhere",
+				obj.Name(), pass.Pkg.Fset.Position(atomicVars[obj]), verb)
+		})
+	}
+	return nil
+}
+
+// isAtomicFuncCall reports whether call statically invokes one of
+// sync/atomic's package-level functions operating on a caller-owned word
+// (Add*, Load*, Store*, Swap*, CompareAndSwap*, And*, Or*).
+func isAtomicFuncCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeObj(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	for _, prefix := range [...]string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// sanctionedAtomicUse reports whether the identifier id is used in a context
+// that never observes the variable's value non-atomically: inside a
+// sync/atomic call, under len/cap, or as a value-less range target (which
+// reads only the length).
+func sanctionedAtomicUse(info *types.Info, id *ast.Ident, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch a := stack[i].(type) {
+		case *ast.CallExpr:
+			if isAtomicFuncCall(info, a) {
+				return true
+			}
+			if fid, ok := ast.Unparen(a.Fun).(*ast.Ident); ok && (fid.Name == "len" || fid.Name == "cap") {
+				if _, isBuiltin := info.Uses[fid].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+		case *ast.RangeStmt:
+			// `for i := range xs` reads only len(xs); a value variable would
+			// copy the elements plainly.
+			child := ast.Node(id)
+			if i+1 < len(stack) {
+				child = stack[i+1]
+			}
+			if a.Value == nil && a.X.Pos() <= child.Pos() && child.End() <= a.X.End() {
+				return true
+			}
+		case *ast.FuncLit, *ast.BlockStmt:
+			// A function boundary or statement context ends the expression
+			// we're classifying.
+			return false
+		}
+	}
+	return false
+}
+
+// isWriteContext reports whether id sits on the writing side of an
+// assignment or inc/dec, through any selector/index/star wrapping.
+func isWriteContext(stack []ast.Node, id ast.Expr) bool {
+	node := ast.Node(id)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch a := stack[i].(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr, *ast.ParenExpr, *ast.UnaryExpr:
+			node = stack[i]
+		case *ast.AssignStmt:
+			for _, lhs := range a.Lhs {
+				if lhs == node {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return a.X == node
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// flagTypedAtomicCopy reports whether expr is a typed atomic
+// (sync/atomic.Int64 and family) used by value rather than through a method,
+// an address-of, or a field/element access.
+func flagTypedAtomicCopy(info *types.Info, expr ast.Expr, stack []ast.Node) bool {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if info.Defs[e] != nil {
+			return false // a declaration names the variable, it does not copy it
+		}
+	case *ast.SelectorExpr, *ast.IndexExpr:
+	default:
+		return false
+	}
+	tv, ok := info.Types[expr]
+	if !ok || !tv.IsValue() {
+		return false
+	}
+	// The type must be the atomic struct itself — a pointer to one is shared,
+	// not copied.
+	named, _ := types.Unalias(tv.Type).(*types.Named)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+	default:
+		return false
+	}
+	if len(stack) == 0 {
+		return false
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.SelectorExpr:
+		return parent.X != expr // method/field access on it is fine
+	case *ast.UnaryExpr:
+		return parent.Op != token.AND
+	case *ast.IndexExpr:
+		return parent.X != expr
+	case *ast.StarExpr, *ast.ParenExpr:
+		return false
+	}
+	return true
+}
+
+// typeString renders expr's type for a message, "" guarded.
+func typeString(info *types.Info, expr ast.Expr) string {
+	if tv, ok := info.Types[expr]; ok && tv.Type != nil {
+		return tv.Type.String()
+	}
+	return "atomic value"
+}

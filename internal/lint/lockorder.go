@@ -1,0 +1,294 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockOrderAnalyzer checks mutex acquisitions against the package's canonical
+// lock hierarchy. The hierarchy is declared once, in the code it protects
+// (never in the linter), as:
+//
+//	//lint:lockorder TypeA.mu -> TypeB.otherMu -> TypeC.mu
+//
+// Each name is <struct type>.<mutex field>. The analyzer derives the
+// acquisition graph — which locks can be requested while which others are
+// held, following calls through the package — and reports any acquisition
+// that runs against the declared order. Locks not named in the declaration
+// are unconstrained. A package with no declaration is not checked.
+//
+// The held-lock tracking is a linear, source-order approximation (branches
+// are treated as sequential, a deferred Unlock pins the lock to the end of
+// the function), which matches the Lock/Unlock discipline this repository
+// uses; genuinely conditional acquisition patterns can be annotated with
+// //lint:ignore lockorder.
+var LockOrderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc:  "flags mutex acquisitions that violate the package's declared //lint:lockorder hierarchy",
+	Run:  runLockOrder,
+}
+
+// lockEvent is one step of a function body in source order.
+type lockEvent struct {
+	kind    int // evLock, evUnlock, evCall
+	lock    string
+	byDefer bool
+	callee  *types.Func
+	pos     token.Pos
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evCall
+)
+
+// funcLocks is the per-function summary the interprocedural pass works from.
+type funcLocks struct {
+	events   []lockEvent
+	acquires map[string]token.Pos // lock ids this function may take, directly
+}
+
+func runLockOrder(pass *Pass) error {
+	decl, declPos, ok := directive(pass.Pkg, "lockorder")
+	if !ok {
+		return nil
+	}
+	rank := map[string]int{}
+	var order []string
+	for _, name := range strings.FieldsFunc(decl, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '-' || r == '>' || r == '→'
+	}) {
+		if _, dup := rank[name]; dup {
+			pass.Reportf(declPos, "lint:lockorder names %q twice", name)
+			continue
+		}
+		rank[name] = len(order)
+		order = append(order, name)
+	}
+	if len(order) < 2 {
+		pass.Reportf(declPos, "lint:lockorder needs at least two lock names (Type.field -> Type.field)")
+		return nil
+	}
+
+	info := pass.Pkg.Info
+
+	// Pass 1: summarize every function and go-routine body in the package.
+	summaries := map[*types.Func]*funcLocks{}
+	var roots []*funcLocks // bodies with no types.Func identity (go funclits)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			obj, _ := info.Defs[fd.Name].(*types.Func)
+			sum, goBodies := summarize(info, fd.Body)
+			if obj != nil {
+				summaries[obj] = sum
+			} else {
+				roots = append(roots, sum)
+			}
+			roots = append(roots, goBodies...)
+			return false
+		})
+	}
+
+	// Pass 2: close the may-acquire sets over the package-local call graph.
+	trans := map[*types.Func]map[string]token.Pos{}
+	var closure func(fn *types.Func, seen map[*types.Func]bool) map[string]token.Pos
+	closure = func(fn *types.Func, seen map[*types.Func]bool) map[string]token.Pos {
+		if acq, done := trans[fn]; done {
+			return acq
+		}
+		if seen[fn] {
+			return nil // recursion; the fixpoint below still converges
+		}
+		seen[fn] = true
+		sum := summaries[fn]
+		if sum == nil {
+			return nil
+		}
+		acq := map[string]token.Pos{}
+		for id, pos := range sum.acquires {
+			acq[id] = pos
+		}
+		for _, ev := range sum.events {
+			if ev.kind == evCall && ev.callee != nil {
+				for id, pos := range closure(ev.callee, seen) {
+					if _, have := acq[id]; !have {
+						acq[id] = pos
+					}
+				}
+			}
+		}
+		trans[fn] = acq
+		return acq
+	}
+	for fn := range summaries {
+		closure(fn, map[*types.Func]bool{})
+	}
+
+	// Pass 3: replay each body, tracking the held multiset in source order,
+	// and check every acquisition (direct or through a call) against the
+	// declaration.
+	check := func(sum *funcLocks) {
+		held := map[string]int{}
+		heldOrder := []string{}
+		acquire := func(id string, pos token.Pos, via string) {
+			r, ranked := rank[id]
+			if ranked {
+				for _, h := range heldOrder {
+					if h == id {
+						continue
+					}
+					hr, hRanked := rank[h]
+					if hRanked && r < hr {
+						msg := fmt.Sprintf("acquires %s while holding %s, against the declared order %s",
+							id, h, strings.Join(order, " → "))
+						if via != "" {
+							msg = fmt.Sprintf("call to %s %s", via, msg)
+						}
+						pass.Reportf(pos, "%s", msg)
+					}
+				}
+			}
+		}
+		for _, ev := range sum.events {
+			switch ev.kind {
+			case evLock:
+				acquire(ev.lock, ev.pos, "")
+				held[ev.lock]++
+				heldOrder = append(heldOrder, ev.lock)
+			case evUnlock:
+				if ev.byDefer {
+					continue // held until function exit
+				}
+				if held[ev.lock] > 0 {
+					held[ev.lock]--
+					for i := len(heldOrder) - 1; i >= 0; i-- {
+						if heldOrder[i] == ev.lock {
+							heldOrder = append(heldOrder[:i], heldOrder[i+1:]...)
+							break
+						}
+					}
+				}
+			case evCall:
+				if ev.callee == nil || len(heldOrder) == 0 {
+					continue
+				}
+				for id, _ := range trans[ev.callee] {
+					acquire(id, ev.pos, ev.callee.Name())
+				}
+			}
+		}
+	}
+	for _, sum := range summaries {
+		check(sum)
+	}
+	for _, sum := range roots {
+		check(sum)
+	}
+	return nil
+}
+
+// summarize walks one function body in source order, recording lock events
+// and static calls. Function literals launched on their own goroutine run
+// without the caller's locks; their bodies come back as independent roots.
+// Other function literals are treated as executing where they appear.
+func summarize(info *types.Info, body *ast.BlockStmt) (*funcLocks, []*funcLocks) {
+	sum := &funcLocks{acquires: map[string]token.Pos{}}
+	var goBodies []*funcLocks
+
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				// The spawned body is its own root; arguments evaluate here.
+				for _, arg := range n.Call.Args {
+					walk(arg, inDefer)
+				}
+				if fl, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					inner, nested := summarize(info, fl.Body)
+					goBodies = append(goBodies, inner)
+					goBodies = append(goBodies, nested...)
+				}
+				return false
+			case *ast.DeferStmt:
+				if fl, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					for _, arg := range n.Call.Args {
+						walk(arg, inDefer)
+					}
+					walk(fl.Body, true)
+					return false
+				}
+				walk(n.Call, true)
+				return false
+			case *ast.CallExpr:
+				if id, method, isLockCall := lockCall(info, n); isLockCall {
+					switch method {
+					case "Lock", "RLock":
+						sum.events = append(sum.events, lockEvent{kind: evLock, lock: id, pos: n.Pos()})
+						if _, have := sum.acquires[id]; !have {
+							sum.acquires[id] = n.Pos()
+						}
+					case "Unlock", "RUnlock":
+						sum.events = append(sum.events, lockEvent{kind: evUnlock, lock: id, byDefer: inDefer, pos: n.Pos()})
+					}
+					return true
+				}
+				if fn := calleeObj(info, n); fn != nil {
+					sum.events = append(sum.events, lockEvent{kind: evCall, callee: fn, pos: n.Pos()})
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	return sum, goBodies
+}
+
+// lockCall decides whether call is sync.Mutex/RWMutex (Un)Lock/(R)(Un)Lock on
+// an identifiable lock, returning the lock's canonical id: the receiver's
+// "<struct type>.<field>" for a field mutex, "<name>" for a plain variable.
+func lockCall(info *types.Info, call *ast.CallExpr) (id, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	method = sel.Sel.Name
+	switch method {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return lockID(info, sel.X), method, true
+}
+
+// lockID names the mutex-valued expression: "Type.field" when it is a struct
+// field (however deep the selector chain), otherwise the root identifier's
+// name, otherwise "_".
+func lockID(info *types.Info, expr ast.Expr) string {
+	expr = ast.Unparen(expr)
+	if sel, ok := expr.(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s != nil {
+			if owner := asNamed(s.Recv()); owner != nil {
+				return owner.Obj().Name() + "." + sel.Sel.Name
+			}
+		}
+		return "_." + sel.Sel.Name
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "_"
+}

@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolLeakAnalyzer checks that every sync.Pool.Get is balanced: on each path
+// out of the function the gotten value is either handed back with Put or
+// deliberately escapes — returned to the caller, passed to another function,
+// stored, sent on a channel, or captured by a closure — transferring
+// ownership with it. A Get whose value just goes out of scope is a silent
+// leak: the program still runs, the pool just stops pooling, and allocation
+// pressure creeps back in exactly the hot paths the pool was added to fix.
+//
+// The path model is syntactic: a deferred Put covers every exit (including
+// panics); otherwise a return is covered when some Put/escape precedes it in
+// a block that encloses the return. Balancing schemes the model cannot see
+// (both arms of an if putting, conditional ownership flags) are annotated
+// with //lint:ignore poolleak <why the value is not leaked>.
+var PoolLeakAnalyzer = &Analyzer{
+	Name: "poolleak",
+	Doc:  "flags sync.Pool.Get results that reach a return path without a Put or an ownership-transferring escape",
+	Run:  runPoolLeak,
+}
+
+func runPoolLeak(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkPoolBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				// Each literal is its own ownership domain; checkPoolBody
+				// skips nested literals, so every body is checked exactly once.
+				checkPoolBody(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// poolGet is one tracked p.Get() binding.
+type poolGet struct {
+	obj   types.Object
+	pos   token.Pos
+	block *ast.BlockStmt // innermost block the binding lives in
+}
+
+// poolEvent is a Put or an ownership-transferring escape of the tracked value.
+type poolEvent struct {
+	pos     token.Pos
+	block   *ast.BlockStmt // innermost enclosing block
+	inDefer bool           // deferred events cover every exit after them
+}
+
+func checkPoolBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+
+	// Collect `v := pool.Get()` (possibly through a type assertion) bindings
+	// made directly in this body.
+	var gets []poolGet
+	walkStack(body, func(n ast.Node, stack []ast.Node) {
+		if funcLitIndex(stack, body) >= 0 {
+			return
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return
+		}
+		rhs := ast.Unparen(assign.Rhs[0])
+		if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+			rhs = ast.Unparen(ta.X)
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isPoolMethod(info, call, "Get") {
+			return
+		}
+		id, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		gets = append(gets, poolGet{obj: obj, pos: assign.Pos(), block: innermostBlock(stack, body)})
+	})
+	if len(gets) == 0 {
+		return
+	}
+
+	for _, g := range gets {
+		var events []poolEvent
+		var returns []token.Pos
+
+		walkStack(body, func(n ast.Node, stack []ast.Node) {
+			if ret, ok := n.(*ast.ReturnStmt); ok && funcLitIndex(stack, body) < 0 &&
+				ret.Pos() > g.pos && g.block.Pos() <= ret.Pos() && ret.Pos() <= g.block.End() {
+				returns = append(returns, ret.Pos())
+				return
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok || info.Uses[id] != g.obj || id.Pos() <= g.pos {
+				return
+			}
+			if ev, ok := classifyPoolUse(info, id, stack, body); ok {
+				events = append(events, ev)
+			}
+		})
+		// Falling off the end of the binding's scope is an exit too.
+		returns = append(returns, g.block.End())
+
+		for _, r := range returns {
+			covered := false
+			for _, ev := range events {
+				if ev.pos > r {
+					continue
+				}
+				if ev.inDefer || (ev.block.Pos() <= r && r <= ev.block.End()) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				pass.Reportf(g.pos,
+					"%s from sync.Pool.Get has no Put or ownership transfer on the exit at %s; the pooled value leaks",
+					g.obj.Name(), pass.Pkg.Fset.Position(r))
+				break // one report per Get is enough
+			}
+		}
+	}
+}
+
+// classifyPoolUse decides whether this use of the tracked value is a Put or
+// an escape, and at what position/block the event takes effect.
+func classifyPoolUse(info *types.Info, id *ast.Ident, stack []ast.Node, body *ast.BlockStmt) (poolEvent, bool) {
+	inDefer := false
+	for _, a := range stack {
+		if _, ok := a.(*ast.DeferStmt); ok {
+			inDefer = true
+			break
+		}
+	}
+
+	// Captured by a (non-deferred) closure: ownership moves into the closure
+	// at the point the (outermost) literal is created.
+	if funcLitIndex(stack, body) >= 0 && !inDefer {
+		for i, a := range stack {
+			if fl, ok := a.(*ast.FuncLit); ok && fl.Pos() > body.Pos() {
+				return poolEvent{pos: fl.Pos(), block: innermostBlock(stack[:i], body)}, true
+			}
+		}
+	}
+
+	block := innermostBlock(stack, body)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch a := stack[i].(type) {
+		case *ast.CallExpr:
+			if id.Pos() < a.Lparen {
+				continue // the use is the callee expression, not an argument
+			}
+			if fid, ok := ast.Unparen(a.Fun).(*ast.Ident); ok && (fid.Name == "len" || fid.Name == "cap") {
+				if _, isBuiltin := info.Uses[fid].(*types.Builtin); isBuiltin {
+					continue // reading the length transfers nothing
+				}
+			}
+			if isPoolMethod(info, a, "Put") {
+				return poolEvent{pos: id.Pos(), block: block, inDefer: inDefer}, true
+			}
+			// Handed to some other function — append, a transfer helper, a
+			// serializer that takes over the buffer.
+			return poolEvent{pos: id.Pos(), block: block, inDefer: inDefer}, true
+		case *ast.ReturnStmt:
+			// The event position is the return keyword itself so the escape
+			// covers the very exit it rides out on.
+			return poolEvent{pos: a.Pos(), block: block, inDefer: inDefer}, true
+		case *ast.SendStmt:
+			if a.Value.Pos() <= id.Pos() && id.Pos() < a.Value.End() {
+				return poolEvent{pos: id.Pos(), block: block, inDefer: inDefer}, true
+			}
+		case *ast.AssignStmt:
+			for ri, rhs := range a.Rhs {
+				if rhs.Pos() <= id.Pos() && id.Pos() < rhs.End() {
+					// `_ = v` silences the compiler and stores nothing.
+					if len(a.Lhs) == len(a.Rhs) {
+						if lid, ok := ast.Unparen(a.Lhs[ri]).(*ast.Ident); ok && lid.Name == "_" {
+							return poolEvent{}, false
+						}
+					}
+					// Stored somewhere that outlives the expression.
+					return poolEvent{pos: id.Pos(), block: block, inDefer: inDefer}, true
+				}
+			}
+			return poolEvent{}, false
+		case *ast.CompositeLit:
+			continue // keep climbing: T{buf: v} escapes via whatever holds it
+		case *ast.BlockStmt:
+			return poolEvent{}, false
+		}
+	}
+	return poolEvent{}, false
+}
+
+// isPoolMethod reports whether call invokes the named method of sync.Pool.
+func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return sig != nil && sig.Recv() != nil && isNamed(sig.Recv().Type(), "sync", "Pool")
+}
+
+// funcLitIndex returns the stack index of the innermost FuncLit ancestor that
+// is itself inside body, -1 when the node belongs to body directly.
+func funcLitIndex(stack []ast.Node, body *ast.BlockStmt) int {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fl, ok := stack[i].(*ast.FuncLit); ok && fl.Pos() > body.Pos() {
+			return i
+		}
+	}
+	return -1
+}
+
+// innermostBlock finds the nearest enclosing BlockStmt on the stack,
+// defaulting to body itself.
+func innermostBlock(stack []ast.Node, body *ast.BlockStmt) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if b, ok := stack[i].(*ast.BlockStmt); ok {
+			return b
+		}
+	}
+	return body
+}

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SentinelErrAnalyzer enforces errors.Is for the module's error sentinels
+// (ErrStaleRound, ErrCodec, ErrWAL, ...). The federation wraps errors as they
+// cross layers — %w through the WAL, the codec, the RPC shims — so a literal
+// == against the sentinel silently stops matching the moment anyone adds
+// context to the chain. Comparisons against nil, and against sentinels of
+// other modules (io.EOF has documented ==-comparison semantics), are left
+// alone: the rule is about our own sentinels, whose wrapping discipline we
+// control.
+var SentinelErrAnalyzer = &Analyzer{
+	Name: "sentinelerr",
+	Doc:  "flags ==/!= comparisons against the module's error sentinels where errors.Is is required",
+	Run:  runSentinelErr,
+}
+
+func runSentinelErr(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return
+				}
+				if s := sentinelSide(pass, info, n.X, n.Y); s != nil {
+					pass.Reportf(n.Pos(),
+						"%s compared with %s; sentinels may arrive wrapped — use errors.Is(err, %s)",
+						s.Name(), n.Op, s.Name())
+				}
+			case *ast.SwitchStmt:
+				// switch err { case ErrX: } is == in disguise.
+				if n.Tag == nil {
+					return
+				}
+				if !isErrorType(info, n.Tag) {
+					return
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if s := moduleSentinel(pass, info, e); s != nil {
+							pass.Reportf(e.Pos(),
+								"switch case compares %s with ==; sentinels may arrive wrapped — use errors.Is(err, %s)",
+								s.Name(), s.Name())
+						}
+					}
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// sentinelSide returns the module error sentinel on either side of a
+// comparison, provided the other side is error-typed and not the nil literal.
+func sentinelSide(pass *Pass, info *types.Info, x, y ast.Expr) *types.Var {
+	if s := moduleSentinel(pass, info, x); s != nil && !isNilLit(info, y) {
+		return s
+	}
+	if s := moduleSentinel(pass, info, y); s != nil && !isNilLit(info, x) {
+		return s
+	}
+	return nil
+}
+
+// moduleSentinel resolves expr to a package-level error variable declared in
+// this module, nil otherwise.
+func moduleSentinel(pass *Pass, info *types.Info, expr ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	// Package-level: its parent scope is the package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !isErrorIface(v.Type()) {
+		return nil
+	}
+	if !pass.inModule(v.Pkg().Path()) {
+		return nil
+	}
+	return v
+}
+
+func isErrorType(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	return ok && tv.Type != nil && isErrorIface(tv.Type)
+}
+
+// isErrorIface reports whether t is exactly the built-in error interface.
+func isErrorIface(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isNilLit(info *types.Info, expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok || id.Name != "nil" {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}

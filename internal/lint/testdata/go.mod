@@ -1,0 +1,3 @@
+module fplint.test
+
+go 1.24

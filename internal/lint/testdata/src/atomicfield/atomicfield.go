@@ -1,0 +1,55 @@
+// Fixture for the atomicfield analyzer: mixed atomic/plain access.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	drops int64
+}
+
+func good(c *counters) int64 {
+	atomic.AddInt64(&c.hits, 1)
+	return atomic.LoadInt64(&c.hits)
+}
+
+func bad(c *counters) int64 {
+	atomic.AddInt64(&c.hits, 1)
+	return c.hits // want `hits is accessed with sync/atomic .* but read plainly`
+}
+
+func badWrite(c *counters) {
+	atomic.AddInt64(&c.drops, 1)
+	c.drops = 0 // want `drops is accessed with sync/atomic .* but written plainly`
+}
+
+var counts [4]int32
+
+func rangeLenOK() {
+	atomic.AddInt32(&counts[0], 1)
+	for i := range counts { // value-less range reads only the length
+		_ = i
+	}
+	_ = len(counts)
+}
+
+func rangeValueBad() int32 {
+	var sum int32
+	for _, c := range counts { // want `counts is accessed with sync/atomic .* but read plainly`
+		sum += c
+	}
+	return sum
+}
+
+var typed atomic.Int64
+
+func typedMethodsOK() int64 {
+	typed.Store(3)
+	p := &typed
+	return p.Load()
+}
+
+func typedCopyBad() int64 {
+	v := typed // want `copied by value`
+	return v.Load()
+}

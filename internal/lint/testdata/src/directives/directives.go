@@ -1,0 +1,19 @@
+// Fixture for the //lint:ignore hygiene rules enforced by the runner itself:
+// a directive must name a real analyzer, carry a non-empty reason, and
+// actually suppress a finding.
+package directives
+
+import "errors"
+
+var ErrBoom = errors.New("boom")
+
+func justified(err error) bool {
+	//lint:ignore sentinelerr fixture exercises a justified suppression
+	return err == ErrBoom
+}
+
+func hygiene() {
+	/* want `lint:ignore needs an analyzer name and a non-empty reason` */ //lint:ignore sentinelerr
+	/* want `names unknown analyzer "nosuch"` */ //lint:ignore nosuch because reasons
+	/* want `suppresses nothing` */ //lint:ignore poolleak stale excuse
+}

@@ -1,0 +1,70 @@
+// Fixture for the lockorder analyzer. The canonical order is declared once,
+// here, exactly as production code declares its own:
+//
+//lint:lockorder registry.mu -> session.mu -> shard.mu
+package lockorder
+
+import "sync"
+
+type registry struct{ mu sync.Mutex }
+type session struct{ mu sync.RWMutex }
+type shard struct{ mu sync.Mutex }
+
+func nestedOK(r *registry, s *session, sh *shard) {
+	r.mu.Lock()
+	s.mu.RLock()
+	sh.mu.Lock()
+	sh.mu.Unlock()
+	s.mu.RUnlock()
+	r.mu.Unlock()
+}
+
+func inversionBad(r *registry, s *session) {
+	s.mu.Lock()
+	r.mu.Lock() // want `acquires registry.mu while holding session.mu`
+	r.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// sequentialOK holds the locks one after the other, never together: textual
+// order against the hierarchy, but no nesting, so no violation.
+func sequentialOK(sh *shard, r *registry) {
+	sh.mu.Lock()
+	sh.mu.Unlock()
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+func grabRegistry(r *registry) {
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+func transitiveBad(sh *shard, r *registry) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	grabRegistry(r) // want `call to grabRegistry acquires registry.mu while holding shard.mu`
+}
+
+// goroutineOK: the spawned body runs without the caller's locks, so the
+// inversion the text suggests never happens at runtime.
+func goroutineOK(r *registry, s *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		r.mu.Lock()
+		r.mu.Unlock()
+	}()
+}
+
+// Locks outside the declaration are unconstrained against each other.
+type side struct{ mu sync.Mutex }
+
+func unrankedOK(a, b *side, s *session) {
+	a.mu.Lock()
+	b.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

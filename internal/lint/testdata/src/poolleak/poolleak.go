@@ -1,0 +1,60 @@
+// Fixture for the poolleak analyzer.
+package poolleak
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+func use(b *[]byte) {}
+
+func leakBad() {
+	b := bufPool.Get().(*[]byte) // want `b from sync.Pool.Get has no Put or ownership transfer`
+	if len(*b) > 0 {
+		_ = b
+	}
+}
+
+func earlyReturnBad(cond bool) *[]byte {
+	b := bufPool.Get().(*[]byte) // want `b from sync.Pool.Get has no Put or ownership transfer`
+	if cond {
+		return nil
+	}
+	return b
+}
+
+func deferOK() {
+	b := bufPool.Get().(*[]byte)
+	defer bufPool.Put(b)
+	use(b)
+}
+
+func putPerPathOK(cond bool) *[]byte {
+	b := bufPool.Get().(*[]byte)
+	if cond {
+		bufPool.Put(b)
+		return nil
+	}
+	return b
+}
+
+func returnTransferOK() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	return b
+}
+
+func closureHandoffOK() {
+	b := bufPool.Get().(*[]byte)
+	go func() {
+		bufPool.Put(b)
+	}()
+}
+
+func twoArmsIgnored(cond bool) {
+	//lint:ignore poolleak both arms put the buffer back; the linear path model cannot see it
+	b := bufPool.Get().(*[]byte)
+	if cond {
+		bufPool.Put(b)
+	} else {
+		bufPool.Put(b)
+	}
+}

@@ -1,0 +1,48 @@
+// Fixture for the sentinelerr analyzer.
+package sentinelerr
+
+import (
+	"errors"
+	"io"
+)
+
+var (
+	ErrStale = errors.New("stale round")
+	ErrCodec = errors.New("codec mismatch")
+)
+
+func eqBad(err error) bool {
+	return err == ErrStale // want `ErrStale compared with ==`
+}
+
+func neqBad(err error) bool {
+	return ErrCodec != err // want `ErrCodec compared with !=`
+}
+
+func switchBad(err error) string {
+	switch err {
+	case ErrStale: // want `switch case compares ErrStale with ==`
+		return "stale"
+	case nil:
+		return ""
+	}
+	return "other"
+}
+
+func isOK(err error) bool {
+	return errors.Is(err, ErrStale)
+}
+
+func nilOK(err error) bool {
+	return err == nil
+}
+
+// Sentinels of other modules keep their documented == semantics.
+func foreignOK(err error) bool {
+	return err == io.EOF
+}
+
+func ignored(err error) bool {
+	//lint:ignore sentinelerr this error is produced one frame up and never wrapped
+	return err == ErrCodec
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// walkStack traverses root in source order, calling fn with each node and the
+// stack of its ancestors (outermost first, not including n itself).
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// calleeObj resolves a call expression to the function or method object it
+// statically invokes, nil for indirect calls (function values) and builtins.
+func calleeObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether the call statically invokes the named
+// package-level function of the given package path.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeObj(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// namedType unwraps pointers and aliases down to the expression type's named
+// form, nil when the type has no name (or expr has no recorded type).
+func namedType(info *types.Info, expr ast.Expr) *types.Named {
+	tv, ok := info.Types[expr]
+	if !ok {
+		return nil
+	}
+	return asNamed(tv.Type)
+}
+
+// asNamed unwraps pointers and aliases down to a named type, nil otherwise.
+func asNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := types.Unalias(t).(*types.Named)
+	return n
+}
+
+// isNamed reports whether t (through pointers and aliases) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := asNamed(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// rootObj walks an lvalue-ish expression (selector, index, star, paren
+// chains) down to the object its leftmost identifier resolves to; nil when
+// the root is not a simple identifier.
+func rootObj(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if o := info.Uses[e]; o != nil {
+				return o
+			}
+			return info.Defs[e]
+		case *ast.SelectorExpr:
+			// Prefer the field/var the selector itself resolves to (its
+			// deepest component); fall back to the receiver chain only for
+			// package-qualified names.
+			if sel, ok := info.Selections[e]; ok && sel != nil {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					return v
+				}
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// inModule reports whether pkgPath belongs to the module being analyzed.
+// With no module identity (GOPATH mode, incomplete go list output) it falls
+// back to comparing the first path element with the analyzed package's.
+func (p *Pass) inModule(pkgPath string) bool {
+	if p.Pkg.Module != "" {
+		return pkgPath == p.Pkg.Module || len(pkgPath) > len(p.Pkg.Module) &&
+			pkgPath[:len(p.Pkg.Module)] == p.Pkg.Module && pkgPath[len(p.Pkg.Module)] == '/'
+	}
+	return firstElem(pkgPath) == firstElem(p.Pkg.PkgPath)
+}
+
+func firstElem(path string) string {
+	for i := 0; i < len(path); i++ {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return path
+}

@@ -11,8 +11,8 @@ import (
 //
 //   - neither path panics, whatever the input;
 //   - every rejection wraps ErrCodec (callers branch on errors.Is);
-//   - allocations stay proportional to the input (the t.SkipNow guard below
-//     only caps the *harness's* dense materialization — the decoders
+//   - allocations stay proportional to the input (the large-frame guard
+//     below only caps the *harness's* dense materialization — the decoders
 //     themselves must bound allocation before trusting any header field);
 //   - an accepted frame re-encodes byte-identically (canonical encoding);
 //   - the streaming decoder accepts exactly what the buffered decoder
@@ -62,13 +62,22 @@ func FuzzDecode(f *testing.F) {
 			return
 		}
 		if d.Len() > 1<<22 {
-			// A sparse or truncated header may claim a huge n that the
-			// buffered length checks rejected; materializing it densely is
-			// the harness's cost, not the decoder's. Skip only the dense
-			// comparison — a frame this large can never have been accepted
-			// above (b is far too short), so nothing is lost.
+			// Materializing n values densely is the harness's cost, not the
+			// decoder's, so skip the dense value comparison for huge n. Only
+			// a sparse frame can legitimately be accepted at this size from
+			// a short input — dense and raw payloads must carry ~n bytes,
+			// while a sparse frame's size scales with k, not n — so anything
+			// non-sparse accepted here is an over-trusting header parse.
 			if err == nil {
-				t.Fatalf("buffered path accepted a %d-value frame from %d bytes", d.Len(), len(b))
+				if !fr.IsSparse() {
+					t.Fatalf("buffered path accepted a non-sparse %d-value frame from %d bytes", d.Len(), len(b))
+				}
+				if !d.IsSparse() || d.Len() != fr.Sparse.N ||
+					d.Bits() != fr.Sparse.Bits || d.Chunk() != fr.Sparse.Chunk {
+					t.Fatalf("stream header (sparse=%v n=%d bits=%d chunk=%d) disagrees with accepted sparse frame (n=%d bits=%d chunk=%d)",
+						d.IsSparse(), d.Len(), d.Bits(), d.Chunk(),
+						fr.Sparse.N, fr.Sparse.Bits, fr.Sparse.Chunk)
+				}
 			}
 			return
 		}

@@ -12,6 +12,12 @@
 // Decode serialize chunked vectors into a self-describing binary frame with
 // a magic+version header (see docs/WIRE.md for the byte-level layout), so
 // non-Go clients can interoperate.
+//
+// The package is deterministic: identical input vectors produce identical
+// codes and frames on every run, which the wire-level golden tests and the
+// WAL replay path both rely on.
+//
+//lint:deterministic
 package quant
 
 import (

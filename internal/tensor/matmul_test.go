@@ -108,8 +108,8 @@ func TestParallelForCoversEveryIndexOnce(t *testing.T) {
 			atomic.AddInt32(&counts[i], 1)
 		}
 	})
-	for i, c := range counts {
-		if c != 1 {
+	for i := range counts {
+		if c := atomic.LoadInt32(&counts[i]); c != 1 {
 			t.Fatalf("index %d visited %d times", i, c)
 		}
 	}
@@ -127,7 +127,7 @@ func TestParallelForNested(t *testing.T) {
 			})
 		}
 	})
-	if total != 64 {
-		t.Fatalf("nested ParallelFor visited %d inner indices, want 64", total)
+	if got := atomic.LoadInt64(&total); got != 64 {
+		t.Fatalf("nested ParallelFor visited %d inner indices, want 64", got)
 	}
 }

@@ -4,6 +4,12 @@
 // and norms. It deliberately avoids views with non-contiguous strides: every
 // tensor owns a contiguous buffer, which keeps the backprop code simple and
 // the memory accounting exact.
+//
+// The package is deterministic: given the same inputs (including explicit
+// rand sources for initializers) every operation reproduces the same bits,
+// so federated runs can be replayed and compared exactly.
+//
+//lint:deterministic
 package tensor
 
 import (
